@@ -1,0 +1,103 @@
+// Command dupbench measures the DUP engine in isolation: propagation
+// latency and throughput across graph shapes and sizes, and the simple-ODG
+// fast path against the general traversal — the ablation behind the paper's
+// observation that most real dependence graphs are "simple" and can skip
+// graph traversal entirely.
+//
+//	dupbench -objects 20000 -fanout 128 -updates 2000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"dupserve/internal/cache"
+	"dupserve/internal/core"
+	"dupserve/internal/odg"
+)
+
+func main() {
+	objects := flag.Int("objects", 20000, "cached objects in the graph")
+	fanout := flag.Int("fanout", 128, "objects affected per underlying-data change")
+	updates := flag.Int("updates", 2000, "propagations to run per configuration")
+	pageBytes := flag.Int("pagebytes", 8192, "rendered page size")
+	flag.Parse()
+
+	fmt.Printf("dupbench: %d objects, fan-out %d, %d updates, %dB pages\n\n",
+		*objects, *fanout, *updates, *pageBytes)
+
+	runConfig("simple ODG + update-in-place", *objects, *fanout, *updates, *pageBytes, false, core.PolicyUpdateInPlace)
+	runConfig("simple ODG + invalidate", *objects, *fanout, *updates, *pageBytes, false, core.PolicyInvalidate)
+	runConfig("general ODG + update-in-place", *objects, *fanout, *updates, *pageBytes, true, core.PolicyUpdateInPlace)
+	runConfig("general ODG + invalidate", *objects, *fanout, *updates, *pageBytes, true, core.PolicyInvalidate)
+}
+
+// runConfig builds a graph where each underlying-data vertex feeds `fanout`
+// objects. In the general variant, a weighted middle layer (a fragment per
+// data vertex) forces the BFS path; in the simple variant data feeds
+// objects directly.
+func runConfig(name string, objects, fanout, updates, pageBytes int, general bool, policy core.Policy) {
+	g := odg.New()
+	c := cache.New("bench")
+	gen := func(key cache.Key, version int64) (*cache.Object, error) {
+		return &cache.Object{Key: key, Value: make([]byte, pageBytes), Version: version}, nil
+	}
+	var opts []core.Option
+	if policy == core.PolicyUpdateInPlace {
+		opts = append(opts, core.WithGenerator(gen))
+	} else {
+		opts = append(opts, core.WithPolicy(policy))
+	}
+	e := core.NewEngine(g, core.SingleCache{C: c}, opts...)
+
+	sources := objects / fanout
+	if sources == 0 {
+		sources = 1
+	}
+	for s := 0; s < sources; s++ {
+		src := odg.NodeID(fmt.Sprintf("db:row%d", s))
+		if general {
+			frag := odg.NodeID(fmt.Sprintf("frag:f%d", s))
+			g.AddNode(frag, odg.KindBoth)
+			if err := g.AddWeightedEdge(src, frag, 2); err != nil {
+				panic(err)
+			}
+			for i := 0; i < fanout; i++ {
+				key := cache.Key(fmt.Sprintf("/p%d-%d", s, i))
+				if err := g.AddEdge(frag, odg.NodeID(key)); err != nil {
+					panic(err)
+				}
+				c.Put(&cache.Object{Key: key, Value: make([]byte, pageBytes)})
+			}
+		} else {
+			for i := 0; i < fanout; i++ {
+				key := cache.Key(fmt.Sprintf("/p%d-%d", s, i))
+				e.RegisterObject(key, []odg.NodeID{src})
+				c.Put(&cache.Object{Key: key, Value: make([]byte, pageBytes)})
+			}
+		}
+	}
+	if general == g.IsSimple() {
+		panic("bench graph simplicity mismatch")
+	}
+
+	start := time.Now()
+	totalPages := 0
+	for u := 0; u < updates; u++ {
+		src := odg.NodeID(fmt.Sprintf("db:row%d", u%sources))
+		res := e.OnChange(int64(u+1), src)
+		totalPages += res.Updated + res.Invalidated
+		if policy == core.PolicyInvalidate {
+			// Re-prime so every propagation has work to do.
+			for i := 0; i < fanout; i++ {
+				key := cache.Key(fmt.Sprintf("/p%d-%d", u%sources, i))
+				c.Put(&cache.Object{Key: key, Value: make([]byte, pageBytes)})
+			}
+		}
+	}
+	el := time.Since(start)
+	fmt.Printf("%-34s %8.1f µs/update  %9.0f pages/s  (%d pages touched)\n",
+		name, float64(el.Microseconds())/float64(updates),
+		float64(totalPages)/el.Seconds(), totalPages)
+}

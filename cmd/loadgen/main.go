@@ -1,0 +1,122 @@
+// Command loadgen drives HTTP load at a running olympicsd (or any server
+// exposing a /sitemap of page paths), reporting throughput, latency
+// percentiles, and the cache-hit share observed via the X-Cache header —
+// the live counterpart of the paper's load measurements.
+//
+//	loadgen -url http://localhost:8098 -c 16 -duration 10s
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dupserve/internal/stats"
+)
+
+func main() {
+	base := flag.String("url", "http://localhost:8098", "base URL of the server")
+	conc := flag.Int("c", 8, "concurrent clients")
+	duration := flag.Duration("duration", 10*time.Second, "run length")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	paths, err := fetchSitemap(*base + "/sitemap")
+	if err != nil {
+		log.Fatalf("fetch sitemap: %v", err)
+	}
+	if len(paths) == 0 {
+		log.Fatal("empty sitemap")
+	}
+	log.Printf("loaded %d paths; running %d clients for %v", len(paths), *conc, *duration)
+
+	var (
+		requests, errs, hits, misses, statics atomic.Int64
+		bytesIn                               atomic.Int64
+		latMu                                 sync.Mutex
+		lat                                   stats.Summary
+	)
+	deadline := time.Now().Add(*duration)
+	var wg sync.WaitGroup
+	for w := 0; w < *conc; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(w)))
+			client := &http.Client{Timeout: 10 * time.Second}
+			for time.Now().Before(deadline) {
+				p := paths[rng.Intn(len(paths))]
+				t0 := time.Now()
+				resp, err := client.Get(*base + p)
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				n, _ := io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				el := time.Since(t0)
+				requests.Add(1)
+				bytesIn.Add(n)
+				latMu.Lock()
+				lat.Observe(el.Seconds() * 1000)
+				latMu.Unlock()
+				switch resp.Header.Get("X-Cache") {
+				case "hit":
+					hits.Add(1)
+				case "miss":
+					misses.Add(1)
+				case "static":
+					statics.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	total := requests.Load()
+	fmt.Printf("requests:   %d (%.0f/s)\n", total, float64(total)/duration.Seconds())
+	fmt.Printf("errors:     %d\n", errs.Load())
+	fmt.Printf("bytes:      %.1f MB\n", float64(bytesIn.Load())/1e6)
+	d := hits.Load() + misses.Load()
+	if d > 0 {
+		fmt.Printf("cache:      %.2f%% hit (%d hit / %d miss / %d static)\n",
+			100*float64(hits.Load())/float64(d), hits.Load(), misses.Load(), statics.Load())
+	}
+	latMu.Lock()
+	fmt.Printf("latency ms: p50 %.2f  p90 %.2f  p99 %.2f  max %.2f\n",
+		lat.Percentile(50), lat.Percentile(90), lat.Percentile(99), lat.Max())
+	latMu.Unlock()
+	if errs.Load() > total/10 {
+		os.Exit(1)
+	}
+}
+
+func fetchSitemap(url string) ([]string, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("sitemap status %s", resp.Status)
+	}
+	var paths []string
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		p := strings.TrimSpace(sc.Text())
+		if p != "" {
+			paths = append(paths, p)
+		}
+	}
+	return paths, sc.Err()
+}

@@ -1,0 +1,256 @@
+// Command olympicsd serves a live mini Olympic Games web site over HTTP,
+// exercising the full production pipeline of the paper: an in-memory master
+// database, a fragment-composed dynamic site, a DUP engine with
+// update-in-place propagation, an asynchronous trigger monitor consuming
+// the database's change feed, and a pool of serving nodes behind a Network
+// Dispatcher.
+//
+// A background "games" goroutine records results and publishes news on an
+// accelerated schedule, so pages visibly change while you browse:
+//
+//	olympicsd -addr :8098 -tick 2s
+//	curl -i localhost:8098/en/home/day01     # X-Cache: hit on every request
+//	curl    localhost:8098/en/medals
+//	curl    localhost:8098/stats
+//	curl    localhost:8098/sitemap           # all page paths (for loadgen)
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"dupserve/internal/cache"
+	"dupserve/internal/core"
+	"dupserve/internal/db"
+	"dupserve/internal/dispatch"
+	"dupserve/internal/httpserver"
+	"dupserve/internal/odg"
+	"dupserve/internal/site"
+	"dupserve/internal/trigger"
+	"dupserve/internal/weblog"
+)
+
+// syncBuffer is a mutex-guarded byte buffer the access log writes to and
+// /logreport reads from.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) reader() io.Reader {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return bytes.NewReader(append([]byte(nil), b.buf.Bytes()...))
+}
+
+func main() {
+	addr := flag.String("addr", ":8098", "listen address")
+	tick := flag.Duration("tick", 2*time.Second, "interval between live updates")
+	nodes := flag.Int("nodes", 4, "serving nodes behind the dispatcher")
+	seed := flag.Int64("seed", 1998, "random seed for the games feed")
+	paper := flag.Bool("paper", false, "build the full paper-scale site (~17.5k pages)")
+	accessLog := flag.String("accesslog", "", "also write the access log to this file (CLF)")
+	flag.Parse()
+
+	master := db.New("nagano-master")
+	graph := odg.New()
+	group := cache.NewGroup()
+
+	var st *site.Site
+	gen := func(key cache.Key, version int64) (*cache.Object, error) {
+		return st.Engine.Generate(key, version)
+	}
+	engine := core.NewEngine(graph, core.GroupStore{G: group}, core.WithGenerator(gen))
+
+	spec := site.DefaultSpec()
+	spec.Days = 16
+	spec.Languages = []string{"en", "ja"}
+	if *paper {
+		spec = site.PaperSpec()
+	}
+	var err error
+	st, err = site.Build(spec, master, engine)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Serving pool: one cache + server per node, pooled behind a
+	// dispatcher (the per-complex layout of figure 19).
+	var pool []dispatch.Node
+	statics := st.Statics()
+	for i := 0; i < *nodes; i++ {
+		name := fmt.Sprintf("up%d", i)
+		c := cache.New(name)
+		group.Add(c)
+		srv := httpserver.New(name, c, gen, master.LSN)
+		for p, body := range statics {
+			srv.SetStatic(p, body, "text/html; charset=utf-8")
+		}
+		pool = append(pool, srv)
+	}
+	nd := dispatch.New("nd", pool)
+
+	// Prime every cache, then let DUP keep it fresh.
+	log.Printf("prerendering %d pages into %d node caches...", len(st.Pages()), *nodes)
+	if err := st.PrerenderAll(master.LSN(), func(o *cache.Object) { group.BroadcastPut(o) }); err != nil {
+		log.Fatal(err)
+	}
+
+	// Trigger monitor: the asynchronous component watching the database.
+	mon := trigger.Start(master, engine,
+		trigger.WithIndexer(st.Indexer),
+		trigger.WithBatchWindow(20*time.Millisecond))
+	defer mon.Stop()
+
+	// The games: results and news arrive on a timer.
+	go runGames(st, *tick, *seed)
+
+	// Access log: in-memory for the /logreport endpoint, optionally teed
+	// to a file — the log-driven methodology behind the 1998 redesign.
+	var logBuf syncBuffer
+	var logSink io.Writer = &logBuf
+	if *accessLog != "" {
+		f, err := os.Create(*accessLog)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		logSink = io.MultiWriter(&logBuf, f)
+	}
+	access := weblog.NewWriter(logSink)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		client := r.RemoteAddr
+		if i := strings.LastIndexByte(client, ':'); i > 0 {
+			client = client[:i]
+		}
+		obj, outcome, err := nd.Serve(r.URL.Path)
+		switch outcome {
+		case httpserver.OutcomeNotFound:
+			access.Log(client, r.URL.Path, http.StatusNotFound, 0)
+			http.NotFound(w, r)
+			return
+		case httpserver.OutcomeError:
+			access.Log(client, r.URL.Path, http.StatusInternalServerError, 0)
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		access.Log(client, r.URL.Path, http.StatusOK, len(obj.Value))
+		w.Header().Set("Content-Type", obj.ContentType)
+		w.Header().Set("X-Cache", outcome.String())
+		w.Header().Set("X-Version", fmt.Sprint(obj.Version))
+		w.Write(obj.Value)
+	})
+	mux.HandleFunc("/logreport", func(w http.ResponseWriter, r *http.Request) {
+		access.Flush()
+		rep, err := weblog.Analyze(logBuf.reader(), 10)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(rep)
+	})
+	mux.HandleFunc("/sitemap", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, strings.Join(st.Pages(), "\n"))
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		agg := group.AggregateStats()
+		out := map[string]any{
+			"cache":      agg,
+			"hitRate":    agg.HitRate(),
+			"engine":     engine.Stats(),
+			"trigger":    mon.Stats(),
+			"dispatcher": nd.Stats(),
+			"dbLSN":      master.LSN(),
+			"pages":      len(st.Pages()),
+			"currentDay": st.CurrentDay(),
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(out)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+
+	log.Printf("olympicsd listening on %s (%d pages, %d nodes)", *addr, len(st.Pages()), *nodes)
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}
+
+// runGames replays the competition on an accelerated clock: every tick a
+// partial or final result arrives; every few ticks a story publishes; days
+// roll over as events run out.
+func runGames(st *site.Site, tick time.Duration, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	day := 1
+	storyNum := 0
+	pending := append([]*site.Event(nil), st.Events...)
+	partialsLeft := map[string]int{}
+	for _, ev := range pending {
+		partialsLeft[ev.Key] = 3
+	}
+	for range time.Tick(tick) {
+		if len(pending) == 0 {
+			log.Printf("games complete; feed idle")
+			return
+		}
+		i := rng.Intn(len(pending))
+		ev := pending[i]
+		if partialsLeft[ev.Key] > 0 {
+			partialsLeft[ev.Key]--
+			leader := ev.Participants[rng.Intn(len(ev.Participants))]
+			if _, err := st.RecordPartial(ev, leader, fmt.Sprintf("%.1f", 200+rng.Float64()*60)); err != nil {
+				log.Printf("partial: %v", err)
+			}
+			continue
+		}
+		// Final result.
+		p := ev.Participants
+		g, s, b := p[rng.Intn(len(p))], p[rng.Intn(len(p))], p[rng.Intn(len(p))]
+		if _, err := st.RecordResult(ev, g, s, b, fmt.Sprintf("%.1f", 240+rng.Float64()*20)); err != nil {
+			log.Printf("result: %v", err)
+		}
+		log.Printf("result: %s gold=%s", ev.Key, g)
+		pending = append(pending[:i], pending[i+1:]...)
+
+		if rng.Intn(3) == 0 && storyNum < st.Spec.NewsStories {
+			if _, err := st.PublishNews(storyNum, fmt.Sprintf("Story %d: drama at %s", storyNum, ev.Sport), "Live from Nagano."); err != nil {
+				log.Printf("news: %v", err)
+			}
+			storyNum++
+		}
+		// Advance the day as the schedule drains.
+		done := len(st.Events) - len(pending)
+		wantDay := 1 + done*st.Spec.Days/len(st.Events)
+		if wantDay > day && wantDay <= st.Spec.Days {
+			day = wantDay
+			if _, err := st.SetCurrentDay(day); err != nil {
+				log.Printf("day rollover: %v", err)
+			} else {
+				log.Printf("day %d begins", day)
+			}
+		}
+	}
+}

@@ -1,0 +1,83 @@
+// Quickstart: the smallest complete DUP loop.
+//
+// We cache two rendered pages, declare what database rows they depend on,
+// change one row, and let Data Update Propagation regenerate exactly the
+// affected page directly in the cache — the page never leaves the cache,
+// so no request ever misses on it.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dupserve/internal/cache"
+	"dupserve/internal/core"
+	"dupserve/internal/db"
+	"dupserve/internal/odg"
+)
+
+func main() {
+	// 1. A database with one table of results.
+	database := db.New("master")
+	database.CreateTable("results")
+	if _, err := database.Commit(database.NewTx().
+		Put("results", "luge", map[string]string{"gold": "GER"}).
+		Put("results", "curling", map[string]string{"gold": "SUI"})); err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. A cache, a dependence graph, and a generator that renders a page
+	// from the row it is named after.
+	pages := cache.New("pages")
+	graph := odg.New()
+	gen := func(key cache.Key, version int64) (*cache.Object, error) {
+		row, _, err := database.Get("results", string(key[1:]))
+		if err != nil {
+			return nil, err
+		}
+		body := fmt.Sprintf("<h1>%s</h1><p>Gold: %s</p>", key[1:], row.Cols["gold"])
+		return &cache.Object{Key: key, Value: []byte(body), Version: version}, nil
+	}
+	engine := core.NewEngine(graph, core.SingleCache{C: pages}, core.WithGenerator(gen))
+
+	// 3. Render both pages, cache them, and register their dependencies —
+	// each page depends on its row.
+	for _, name := range []string{"luge", "curling"} {
+		key := cache.Key("/" + name)
+		obj, err := gen(key, database.LSN())
+		if err != nil {
+			log.Fatal(err)
+		}
+		pages.Put(obj)
+		engine.RegisterObject(key, []odg.NodeID{odg.NodeID(db.RowID("results", name))})
+	}
+	show(pages, "/luge")
+	show(pages, "/curling")
+
+	// 4. New result arrives: the luge row changes.
+	tx, err := database.Commit(database.NewTx().
+		Put("results", "luge", map[string]string{"gold": "AUT"}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n-- luge result changes (LSN %d) --\n\n", tx.LSN)
+
+	// 5. DUP: find the affected pages and update them in place.
+	res := engine.OnChange(tx.LSN, odg.NodeID(tx.Changes[0].ChangeID()))
+	fmt.Printf("propagation: %d affected, %d updated in place\n\n", res.Affected, res.Updated)
+
+	show(pages, "/luge")    // fresh content, version 3
+	show(pages, "/curling") // untouched — DUP knew it was unaffected
+	fmt.Printf("\ncache stats: %+v\n", pages.Stats())
+}
+
+func show(c *cache.Cache, key cache.Key) {
+	obj, ok := c.Get(key)
+	if !ok {
+		fmt.Printf("%-10s MISS\n", key)
+		return
+	}
+	fmt.Printf("%-10s v%d  %s\n", key, obj.Version, obj.Value)
+}

@@ -1,0 +1,3 @@
+module dupserve
+
+go 1.22

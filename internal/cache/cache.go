@@ -1,0 +1,340 @@
+// Package cache implements the dynamic-page object cache used by the 1998
+// Olympic Games web site (section 2 of the paper).
+//
+// A Cache stores rendered objects (pages, fragments) keyed by name. It
+// supports the two staleness remedies DUP can apply: Invalidate (drop the
+// entry; next request regenerates it — the 1996 behaviour) and Put of a
+// freshly rendered value over the old one (update-in-place — the 1998
+// behaviour that achieved hit rates near 100%, because hot pages are never
+// absent from the cache).
+//
+// The cache keeps byte-accounting with an LRU eviction policy. At Olympic
+// scale the paper observes that "the system never had to apply a cache
+// replacement algorithm" (all dynamic pages fit in ~175 MB); the eviction
+// machinery exists so that the claim is a measured property, not an
+// assumption, and Stats.Evictions lets experiments verify it stayed zero.
+package cache
+
+import (
+	"container/list"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"dupserve/internal/stats"
+)
+
+// Key names a cached object. dupserve uses the page path ("/en/day7/home").
+type Key string
+
+// Object is an immutable cached value. Callers must not modify Value after
+// handing it to the cache; Put stores the slice without copying because the
+// trigger pipeline renders a fresh buffer per update.
+type Object struct {
+	Key         Key
+	Value       []byte
+	ContentType string
+	// Version is a monotonically increasing generation number assigned by
+	// the writer (the trigger monitor uses the database transaction LSN),
+	// letting readers detect which update a page reflects.
+	Version int64
+	// StoredAt is the (possibly simulated) time the object entered the
+	// cache.
+	StoredAt time.Time
+}
+
+// Size returns the accounted byte size of the object.
+func (o *Object) Size() int64 {
+	return int64(len(o.Value)) + int64(len(o.Key)) + int64(len(o.ContentType))
+}
+
+type entry struct {
+	obj  *Object
+	el   *list.Element
+	hits int64
+}
+
+// Stats is a point-in-time snapshot of cache counters.
+type Stats struct {
+	Hits          int64
+	Misses        int64
+	Puts          int64
+	Updates       int64 // Puts that replaced an existing entry (update-in-place)
+	Invalidations int64
+	Evictions     int64
+	Items         int
+	Bytes         int64
+	PeakBytes     int64
+}
+
+// HitRate returns hits/(hits+misses), or 0 when no lookups occurred.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Cache is a concurrency-safe object cache with optional byte-bounded LRU
+// eviction. The zero value is not usable; call New.
+type Cache struct {
+	name     string
+	maxBytes int64 // 0 means unbounded
+	now      func() time.Time
+
+	mu    sync.Mutex
+	items map[Key]*entry
+	lru   *list.List // front = most recently used; values are Key
+
+	hits          stats.Counter
+	misses        stats.Counter
+	puts          stats.Counter
+	updates       stats.Counter
+	invalidations stats.Counter
+	evictions     stats.Counter
+	bytes         stats.Gauge
+}
+
+// Option configures a Cache.
+type Option func(*Cache)
+
+// WithMaxBytes bounds the cache to maxBytes, evicting least-recently-used
+// entries when a Put would exceed it. maxBytes <= 0 means unbounded.
+func WithMaxBytes(maxBytes int64) Option {
+	return func(c *Cache) { c.maxBytes = maxBytes }
+}
+
+// WithClock substitutes the time source (used by the discrete-event
+// simulation so StoredAt reflects simulated time).
+func WithClock(now func() time.Time) Option {
+	return func(c *Cache) { c.now = now }
+}
+
+// New returns an empty cache. name appears in diagnostics only.
+func New(name string, opts ...Option) *Cache {
+	c := &Cache{
+		name:  name,
+		now:   time.Now,
+		items: make(map[Key]*entry),
+		lru:   list.New(),
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Name returns the cache's diagnostic name.
+func (c *Cache) Name() string { return c.name }
+
+// Get returns the cached object for key, recording a hit or miss. The
+// returned object must be treated as read-only.
+func (c *Cache) Get(key Key) (*Object, bool) {
+	c.mu.Lock()
+	e, ok := c.items[key]
+	if ok {
+		c.lru.MoveToFront(e.el)
+		e.hits++
+		obj := e.obj
+		c.mu.Unlock()
+		c.hits.Inc()
+		return obj, true
+	}
+	c.mu.Unlock()
+	c.misses.Inc()
+	return nil, false
+}
+
+// HitCount returns how many times key has been served from this cache
+// since it was first inserted (reinsertion via Put preserves the count;
+// Invalidate resets it). The hybrid propagation policy uses it as its
+// hot-page signal.
+func (c *Cache) HitCount(key Key) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.items[key]; ok {
+		return e.hits
+	}
+	return 0
+}
+
+// Peek returns the cached object without affecting LRU order or hit/miss
+// counters. Monitoring code uses it so that diagnostics do not perturb the
+// replacement state.
+func (c *Cache) Peek(key Key) (*Object, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	return e.obj, true
+}
+
+// Contains reports whether key is cached, without touching counters or LRU
+// order.
+func (c *Cache) Contains(key Key) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.items[key]
+	return ok
+}
+
+// Put inserts or replaces the object stored under obj.Key. Replacing an
+// existing entry is the paper's update-in-place: the page never leaves the
+// cache, so no request ever misses on it. Returns true if an existing entry
+// was replaced.
+func (c *Cache) Put(obj *Object) bool {
+	if obj.StoredAt.IsZero() {
+		obj.StoredAt = c.now()
+	}
+	c.mu.Lock()
+	var replaced bool
+	if e, ok := c.items[obj.Key]; ok {
+		c.bytes.Add(obj.Size() - e.obj.Size())
+		e.obj = obj
+		c.lru.MoveToFront(e.el)
+		replaced = true
+	} else {
+		el := c.lru.PushFront(obj.Key)
+		c.items[obj.Key] = &entry{obj: obj, el: el}
+		c.bytes.Add(obj.Size())
+	}
+	evicted := c.evictLocked()
+	c.mu.Unlock()
+
+	c.puts.Inc()
+	if replaced {
+		c.updates.Inc()
+	}
+	c.evictions.Add(int64(evicted))
+	return replaced
+}
+
+// evictLocked drops LRU entries until the byte budget is met. Returns the
+// number of entries evicted.
+func (c *Cache) evictLocked() int {
+	if c.maxBytes <= 0 {
+		return 0
+	}
+	n := 0
+	for c.bytes.Value() > c.maxBytes && c.lru.Len() > 0 {
+		back := c.lru.Back()
+		key := back.Value.(Key)
+		e := c.items[key]
+		c.lru.Remove(back)
+		delete(c.items, key)
+		c.bytes.Add(-e.obj.Size())
+		n++
+	}
+	return n
+}
+
+// Invalidate removes key from the cache, returning true if it was present.
+func (c *Cache) Invalidate(key Key) bool {
+	c.mu.Lock()
+	e, ok := c.items[key]
+	if ok {
+		c.lru.Remove(e.el)
+		delete(c.items, key)
+		c.bytes.Add(-e.obj.Size())
+	}
+	c.mu.Unlock()
+	if ok {
+		c.invalidations.Inc()
+	}
+	return ok
+}
+
+// InvalidatePrefix removes every key with the given prefix and returns the
+// number removed. This is the conservative 1996-style remedy: after a
+// database update, drop whole sections of the site ("all ski pages") rather
+// than computing the precise affected set.
+func (c *Cache) InvalidatePrefix(prefix string) int {
+	c.mu.Lock()
+	var victims []Key
+	for k := range c.items {
+		if strings.HasPrefix(string(k), prefix) {
+			victims = append(victims, k)
+		}
+	}
+	for _, k := range victims {
+		e := c.items[k]
+		c.lru.Remove(e.el)
+		delete(c.items, k)
+		c.bytes.Add(-e.obj.Size())
+	}
+	c.mu.Unlock()
+	c.invalidations.Add(int64(len(victims)))
+	return len(victims)
+}
+
+// Clear removes every entry, counting them as invalidations.
+func (c *Cache) Clear() int {
+	c.mu.Lock()
+	n := len(c.items)
+	c.items = make(map[Key]*entry)
+	c.lru.Init()
+	c.bytes.Add(-c.bytes.Value())
+	c.mu.Unlock()
+	c.invalidations.Add(int64(n))
+	return n
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items)
+}
+
+// Bytes returns the current accounted size of the cache.
+func (c *Cache) Bytes() int64 { return c.bytes.Value() }
+
+// PeakBytes returns the largest size the cache ever reached — the number the
+// paper reports as "maximum memory required for a single copy of all cached
+// objects was around 175 Mbytes".
+func (c *Cache) PeakBytes() int64 { return c.bytes.Max() }
+
+// Keys returns all cached keys, sorted.
+func (c *Cache) Keys() []Key {
+	c.mu.Lock()
+	out := make([]Key, 0, len(c.items))
+	for k := range c.items {
+		out = append(out, k)
+	}
+	c.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	items := len(c.items)
+	c.mu.Unlock()
+	return Stats{
+		Hits:          c.hits.Value(),
+		Misses:        c.misses.Value(),
+		Puts:          c.puts.Value(),
+		Updates:       c.updates.Value(),
+		Invalidations: c.invalidations.Value(),
+		Evictions:     c.evictions.Value(),
+		Items:         items,
+		Bytes:         c.bytes.Value(),
+		PeakBytes:     c.bytes.Max(),
+	}
+}
+
+// ResetCounters zeroes hit/miss/put/invalidation/eviction counters while
+// leaving contents intact. Experiments use it to discard warm-up effects.
+func (c *Cache) ResetCounters() {
+	c.hits.Reset()
+	c.misses.Reset()
+	c.puts.Reset()
+	c.updates.Reset()
+	c.invalidations.Reset()
+	c.evictions.Reset()
+}

@@ -1,0 +1,127 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Group manages the set of per-serving-node caches inside one complex. In
+// the paper's SP2 layout (Figure 6) the trigger monitor on the SMP renders a
+// page once and distributes the result to the caches of all eight
+// uniprocessor serving nodes; Group.BroadcastPut is that distribution step.
+//
+// A Group is safe for concurrent use. Membership changes (nodes failing and
+// rejoining) may interleave with broadcasts; a broadcast reaches exactly the
+// members present when it starts.
+type Group struct {
+	mu     sync.RWMutex
+	caches map[string]*Cache
+}
+
+// NewGroup returns an empty group.
+func NewGroup() *Group {
+	return &Group{caches: make(map[string]*Cache)}
+}
+
+// Add registers a member cache under its name. Adding a second cache with
+// the same name replaces the first (a node that rebooted rejoins with an
+// empty cache).
+func (g *Group) Add(c *Cache) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.caches[c.Name()] = c
+}
+
+// Remove drops the named member, returning it (or nil).
+func (g *Group) Remove(name string) *Cache {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	c := g.caches[name]
+	delete(g.caches, name)
+	return c
+}
+
+// Get returns the named member cache.
+func (g *Group) Get(name string) (*Cache, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	c, ok := g.caches[name]
+	return c, ok
+}
+
+// Len returns the number of member caches.
+func (g *Group) Len() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.caches)
+}
+
+// Members returns the current member caches in unspecified order.
+func (g *Group) Members() []*Cache {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]*Cache, 0, len(g.caches))
+	for _, c := range g.caches {
+		out = append(out, c)
+	}
+	return out
+}
+
+// BroadcastPut stores a copy of obj's metadata (sharing the value bytes,
+// which are immutable by contract) into every member cache. It returns the
+// number of caches updated.
+func (g *Group) BroadcastPut(obj *Object) int {
+	members := g.Members()
+	for _, c := range members {
+		// Each cache gets its own Object so StoredAt/Version remain
+		// per-cache consistent even if a member applies it later.
+		o := *obj
+		c.Put(&o)
+	}
+	return len(members)
+}
+
+// BroadcastInvalidate removes key from every member cache and returns how
+// many caches held it.
+func (g *Group) BroadcastInvalidate(key Key) int {
+	n := 0
+	for _, c := range g.Members() {
+		if c.Invalidate(key) {
+			n++
+		}
+	}
+	return n
+}
+
+// BroadcastInvalidatePrefix applies InvalidatePrefix to every member and
+// returns the total number of entries removed.
+func (g *Group) BroadcastInvalidatePrefix(prefix string) int {
+	n := 0
+	for _, c := range g.Members() {
+		n += c.InvalidatePrefix(prefix)
+	}
+	return n
+}
+
+// AggregateStats sums the counters of all member caches.
+func (g *Group) AggregateStats() Stats {
+	var agg Stats
+	for _, c := range g.Members() {
+		s := c.Stats()
+		agg.Hits += s.Hits
+		agg.Misses += s.Misses
+		agg.Puts += s.Puts
+		agg.Updates += s.Updates
+		agg.Invalidations += s.Invalidations
+		agg.Evictions += s.Evictions
+		agg.Items += s.Items
+		agg.Bytes += s.Bytes
+		agg.PeakBytes += s.PeakBytes
+	}
+	return agg
+}
+
+// String describes the group for diagnostics.
+func (g *Group) String() string {
+	return fmt.Sprintf("cache.Group(%d members)", g.Len())
+}

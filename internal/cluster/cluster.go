@@ -1,0 +1,288 @@
+// Package cluster models the physical serving plant of section 3: SP2
+// systems ("frames") composed of serving nodes, grouped into geographic
+// complexes, with failure injection at every level so the paper's "elegant
+// degradation" chain — node -> frame -> dispatcher -> complex — is a
+// measurable property rather than a diagram.
+//
+// A Node wraps any dispatch.Node (normally an httpserver.Server) with a
+// kill switch. Failing a node makes it error on every request, which causes
+// the complex's Network Dispatcher to pull it from the distribution list;
+// recovering it rejoins the pool with a cold cache, exactly like a rebooted
+// machine whose memory-resident page cache is gone.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"dupserve/internal/cache"
+	"dupserve/internal/core"
+	"dupserve/internal/dispatch"
+	"dupserve/internal/httpserver"
+)
+
+// ErrNodeDown is returned by a failed node.
+var ErrNodeDown = errors.New("cluster: node down")
+
+// Node is a failable serving node.
+type Node struct {
+	name   string
+	inner  dispatch.Node
+	cache  *cache.Cache // cleared on failure (memory-resident cache)
+	downed atomic.Bool
+}
+
+// NewNode wraps inner with a kill switch. c may be nil when the node's
+// cache should survive failures (e.g. a disk-backed store).
+func NewNode(name string, inner dispatch.Node, c *cache.Cache) *Node {
+	return &Node{name: name, inner: inner, cache: c}
+}
+
+// Name implements dispatch.Node.
+func (n *Node) Name() string { return n.name }
+
+// Serve implements dispatch.Node, failing while the node is down.
+func (n *Node) Serve(path string) (*cache.Object, httpserver.Outcome, error) {
+	if n.downed.Load() {
+		return nil, httpserver.OutcomeError, fmt.Errorf("%w: %s", ErrNodeDown, n.name)
+	}
+	return n.inner.Serve(path)
+}
+
+// Fail takes the node down and discards its memory-resident cache.
+func (n *Node) Fail() {
+	if n.downed.CompareAndSwap(false, true) && n.cache != nil {
+		n.cache.Clear()
+	}
+}
+
+// Recover brings the node back (with whatever its cache now holds — empty
+// after a Fail until the trigger monitor redistributes pages).
+func (n *Node) Recover() { n.downed.Store(false) }
+
+// Down reports whether the node is currently failed.
+func (n *Node) Down() bool { return n.downed.Load() }
+
+// Frame is one SP2: a set of serving nodes that share a power boundary, so
+// frame failure takes all of them down at once.
+type Frame struct {
+	Name  string
+	Nodes []*Node
+}
+
+// Fail downs every node in the frame.
+func (f *Frame) Fail() {
+	for _, n := range f.Nodes {
+		n.Fail()
+	}
+}
+
+// Recover restores every node in the frame.
+func (f *Frame) Recover() {
+	for _, n := range f.Nodes {
+		n.Recover()
+	}
+}
+
+// Config describes a complex to build.
+type Config struct {
+	// Name of the complex ("tokyo").
+	Name string
+	// Frames is the number of SP2 systems (the paper: 3 or 4 per site).
+	Frames int
+	// NodesPerFrame is the number of serving uniprocessors per SP2 (the
+	// paper: 8).
+	NodesPerFrame int
+	// Generator regenerates pages on cache miss (may be nil).
+	Generator core.Generator
+	// Version stamps generated pages (may be nil).
+	Version httpserver.VersionFunc
+	// ServerOptions are applied to every node's httpserver.
+	ServerOptions []httpserver.Option
+	// Statics is installed on every node's server (the Welcome/Venues/Fun
+	// sections served from the filesystem).
+	Statics map[string][]byte
+}
+
+// Complex is one geographic serving site: frames of nodes behind a Network
+// Dispatcher, with a cache group spanning every node for the trigger
+// monitor's broadcasts.
+type Complex struct {
+	name       string
+	Dispatcher *dispatch.Dispatcher
+	Caches     *cache.Group
+	Frames     []*Frame
+
+	mu    sync.Mutex
+	nodes map[string]*Node
+}
+
+// NewComplex builds a complex per cfg: Frames x NodesPerFrame serving
+// nodes, each with its own cache registered in Caches, all pooled behind
+// one dispatcher named after the complex.
+func NewComplex(cfg Config) *Complex {
+	if cfg.Frames <= 0 {
+		cfg.Frames = 1
+	}
+	if cfg.NodesPerFrame <= 0 {
+		cfg.NodesPerFrame = 8
+	}
+	cx := &Complex{
+		name:   cfg.Name,
+		Caches: cache.NewGroup(),
+		nodes:  make(map[string]*Node),
+	}
+	var poolNodes []dispatch.Node
+	for f := 0; f < cfg.Frames; f++ {
+		frame := &Frame{Name: fmt.Sprintf("%s-sp2-%d", cfg.Name, f)}
+		for u := 0; u < cfg.NodesPerFrame; u++ {
+			name := fmt.Sprintf("%s-up%d", frame.Name, u)
+			c := cache.New(name)
+			cx.Caches.Add(c)
+			srv := httpserver.New(name, c, cfg.Generator, cfg.Version, cfg.ServerOptions...)
+			for path, body := range cfg.Statics {
+				srv.SetStatic(path, body, "text/html; charset=utf-8")
+			}
+			node := NewNode(name, srv, c)
+			frame.Nodes = append(frame.Nodes, node)
+			poolNodes = append(poolNodes, node)
+			cx.nodes[name] = node
+		}
+		cx.Frames = append(cx.Frames, frame)
+	}
+	cx.Dispatcher = dispatch.New(cfg.Name, poolNodes)
+	return cx
+}
+
+// Name implements dispatch.Node.
+func (c *Complex) Name() string { return c.name }
+
+// Serve implements dispatch.Node by forwarding through the complex's
+// dispatcher, so a Complex plugs directly into the routing layer.
+func (c *Complex) Serve(path string) (*cache.Object, httpserver.Outcome, error) {
+	return c.Dispatcher.Serve(path)
+}
+
+// NodeByName returns the named node.
+func (c *Complex) NodeByName(name string) (*Node, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n, ok := c.nodes[name]
+	return n, ok
+}
+
+// Nodes returns every node in the complex.
+func (c *Complex) Nodes() []*Node {
+	var out []*Node
+	for _, f := range c.Frames {
+		out = append(out, f.Nodes...)
+	}
+	return out
+}
+
+// FailFrame downs frame i and advises the dispatcher so the pool reflects
+// it immediately.
+func (c *Complex) FailFrame(i int) {
+	if i < 0 || i >= len(c.Frames) {
+		return
+	}
+	c.Frames[i].Fail()
+	c.Advise()
+}
+
+// RecoverFrame restores frame i and advises the dispatcher.
+func (c *Complex) RecoverFrame(i int) {
+	if i < 0 || i >= len(c.Frames) {
+		return
+	}
+	c.Frames[i].Recover()
+	c.Advise()
+}
+
+// FailAll downs the entire complex.
+func (c *Complex) FailAll() {
+	for _, f := range c.Frames {
+		f.Fail()
+	}
+	c.Advise()
+}
+
+// RecoverAll restores the entire complex.
+func (c *Complex) RecoverAll() {
+	for _, f := range c.Frames {
+		f.Recover()
+	}
+	c.Advise()
+}
+
+// Advise runs one advisor sweep: nodes that are down are pulled from the
+// dispatcher, recovered nodes are restored. Returns the healthy count.
+func (c *Complex) Advise() int {
+	healthy := 0
+	for _, n := range c.Nodes() {
+		if n.Down() {
+			c.Dispatcher.MarkDown(n.Name())
+		} else {
+			c.Dispatcher.MarkUp(n.Name())
+			healthy++
+		}
+	}
+	return healthy
+}
+
+// Healthy reports how many nodes are currently serving.
+func (c *Complex) Healthy() int { return c.Dispatcher.HealthyCount() }
+
+// Ledger tracks availability over a sampled timeline: each Record call is
+// one observation of whether the site could serve at that instant. The
+// paper's headline is "available 100% of the time"; the simulation records
+// a sample per simulated interval and reports the fraction.
+type Ledger struct {
+	mu       sync.Mutex
+	samples  int64
+	up       int64
+	downRuns int64
+	lastUp   bool
+	started  bool
+}
+
+// Record adds one availability observation.
+func (l *Ledger) Record(up bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.samples++
+	if up {
+		l.up++
+	} else if !l.started || l.lastUp {
+		l.downRuns++
+	}
+	l.lastUp = up
+	l.started = true
+}
+
+// Availability returns the fraction of samples that were up (1 when no
+// samples were recorded, matching "never observed down").
+func (l *Ledger) Availability() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.samples == 0 {
+		return 1
+	}
+	return float64(l.up) / float64(l.samples)
+}
+
+// Samples returns the number of observations.
+func (l *Ledger) Samples() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.samples
+}
+
+// Outages returns the number of distinct down intervals observed.
+func (l *Ledger) Outages() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.downRuns
+}

@@ -1,0 +1,566 @@
+// Package core implements Data Update Propagation (DUP), the paper's
+// primary contribution: given a set of changes to underlying data, determine
+// exactly which cached objects became obsolete, and remedy each one by
+// regenerating it directly in the cache (the 1998 design) or invalidating it
+// (the fallback), instead of conservatively dumping whole sections of the
+// cache (the 1996 design that capped hit rates near 80%).
+//
+// The Engine ties together three collaborators:
+//
+//   - an object dependence graph (internal/odg) recording which objects
+//     depend on which underlying data;
+//   - a Store — anything that can accept fresh objects and invalidations
+//     (a single cache, or a cache.Group fanning out to all serving nodes);
+//   - a Generator that re-renders an object on demand (the page renderer).
+//
+// Server programs register each rendered object's dependencies with
+// RegisterObject; the trigger monitor calls OnChange with the rows each
+// database transaction touched. Everything in between is DUP.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"dupserve/internal/cache"
+	"dupserve/internal/odg"
+	"dupserve/internal/stats"
+)
+
+// Policy selects the remedy DUP applies to obsolete objects.
+type Policy uint8
+
+const (
+	// PolicyUpdateInPlace regenerates each affected object and stores the
+	// fresh version over the stale one. Pages never leave the cache, so hot
+	// pages never miss — the mechanism behind the paper's ~100% hit rate.
+	PolicyUpdateInPlace Policy = iota
+	// PolicyInvalidate removes each affected object from the store; the
+	// next request regenerates it (precise invalidation, still DUP).
+	PolicyInvalidate
+	// PolicyConservative ignores the dependence graph and invalidates
+	// whole key prefixes derived from the changed data — the 1996 Atlanta
+	// design. It requires a ConservativeMapper.
+	PolicyConservative
+	// PolicyHybrid regenerates *hot* objects in place and invalidates cold
+	// ones — the paper's actual prose: "when hot pages in the cache became
+	// obsolete as a result of updates to underlying data, new versions of
+	// the pages were updated directly in the cache". Hotness comes from a
+	// HotOracle; fragments (objects other objects depend on) are always
+	// regenerated, since a page render must find its fragments fresh.
+	PolicyHybrid
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case PolicyUpdateInPlace:
+		return "update-in-place"
+	case PolicyInvalidate:
+		return "invalidate"
+	case PolicyConservative:
+		return "conservative"
+	case PolicyHybrid:
+		return "hybrid"
+	default:
+		return fmt.Sprintf("policy(%d)", uint8(p))
+	}
+}
+
+// Store is where DUP applies its remedies. *SingleCache and *GroupStore
+// adapt the two cache flavours.
+type Store interface {
+	// ApplyPut installs a freshly generated object.
+	ApplyPut(obj *cache.Object)
+	// ApplyInvalidate removes an object, reporting how many cache replicas
+	// held it.
+	ApplyInvalidate(key cache.Key) int
+	// ApplyInvalidatePrefix removes every object whose key has the prefix,
+	// returning the total entries removed across replicas.
+	ApplyInvalidatePrefix(prefix string) int
+}
+
+// SingleCache adapts one *cache.Cache to the Store interface.
+type SingleCache struct{ C *cache.Cache }
+
+// ApplyPut implements Store.
+func (s SingleCache) ApplyPut(obj *cache.Object) { s.C.Put(obj) }
+
+// ApplyInvalidate implements Store.
+func (s SingleCache) ApplyInvalidate(key cache.Key) int {
+	if s.C.Invalidate(key) {
+		return 1
+	}
+	return 0
+}
+
+// ApplyInvalidatePrefix implements Store.
+func (s SingleCache) ApplyInvalidatePrefix(prefix string) int {
+	return s.C.InvalidatePrefix(prefix)
+}
+
+// GroupStore adapts a *cache.Group (the per-complex broadcast distributor)
+// to the Store interface.
+type GroupStore struct{ G *cache.Group }
+
+// ApplyPut implements Store.
+func (s GroupStore) ApplyPut(obj *cache.Object) { s.G.BroadcastPut(obj) }
+
+// ApplyInvalidate implements Store.
+func (s GroupStore) ApplyInvalidate(key cache.Key) int {
+	return s.G.BroadcastInvalidate(key)
+}
+
+// ApplyInvalidatePrefix implements Store.
+func (s GroupStore) ApplyInvalidatePrefix(prefix string) int {
+	return s.G.BroadcastInvalidatePrefix(prefix)
+}
+
+// Generator re-renders the object stored under key. The returned object's
+// Key must equal key. Version is the LSN of the change batch that made the
+// object obsolete; generators stamp it into the object so freshness is
+// observable end-to-end.
+type Generator func(key cache.Key, version int64) (*cache.Object, error)
+
+// HotOracle reports whether a cached object is hot enough to be worth
+// regenerating eagerly under PolicyHybrid. A typical oracle compares the
+// serving cache's HitCount against a threshold.
+type HotOracle func(key cache.Key) bool
+
+// ConservativeMapper translates a changed underlying-data ID into the cache
+// key prefixes to drop, e.g. "db:results:alpine:*" -> ["/en/sports/alpine",
+// "/ja/sports/alpine", "/en/today"]. Used only by PolicyConservative.
+type ConservativeMapper func(changedID odg.NodeID) []string
+
+// ErrNoGenerator is returned when an update-in-place engine has no
+// generator to regenerate objects with.
+var ErrNoGenerator = errors.New("core: no generator configured")
+
+// Result summarizes one propagation.
+type Result struct {
+	// Changed is the number of underlying-data IDs in the batch.
+	Changed int
+	// Affected is the number of distinct cached objects DUP identified as
+	// obsolete (or, for the conservative policy, the number of cache
+	// entries dropped).
+	Affected int
+	// Updated counts objects regenerated in place.
+	Updated int
+	// Invalidated counts objects (or entries) removed.
+	Invalidated int
+	// Deferred counts objects left in place because their accumulated
+	// weighted staleness has not yet crossed the threshold.
+	Deferred int
+	// Errors collects generation failures; failed objects are invalidated
+	// instead so the cache can never serve a page DUP knows is stale.
+	Errors []error
+}
+
+// Engine executes DUP propagations. Safe for concurrent use, though the
+// intended deployment runs propagations from a single trigger-monitor
+// goroutine while readers serve from the caches.
+type Engine struct {
+	graph  *odg.Graph
+	store  Store
+	gen    Generator
+	policy Policy
+	mapper ConservativeMapper
+	hot    HotOracle
+	trace  TraceFunc
+
+	// threshold enables weighted mode when > 0: objects accumulate
+	// staleness across propagations and are remediated only once the
+	// accumulation reaches the threshold (section 2: "it is often possible
+	// to save considerable CPU cycles by allowing pages to remain in the
+	// cache which are only slightly obsolete").
+	threshold float64
+	staleMu   sync.Mutex
+	staleAcc  map[cache.Key]float64 // accumulated below-threshold staleness
+
+	// workers > 1 regenerates affected objects concurrently, level by
+	// dependency level — the paper ran triggering and rendering on an
+	// 8-way SMP.
+	workers int
+
+	propagations stats.Counter
+	updated      stats.Counter
+	invalidated  stats.Counter
+	deferred     stats.Counter
+	genErrors    stats.Counter
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithPolicy selects the remedy policy (default PolicyUpdateInPlace).
+func WithPolicy(p Policy) Option {
+	return func(e *Engine) { e.policy = p }
+}
+
+// WithGenerator supplies the object regenerator (required for
+// PolicyUpdateInPlace).
+func WithGenerator(g Generator) Option {
+	return func(e *Engine) { e.gen = g }
+}
+
+// WithConservativeMapper supplies the prefix mapper for
+// PolicyConservative.
+func WithConservativeMapper(m ConservativeMapper) Option {
+	return func(e *Engine) { e.mapper = m }
+}
+
+// WithHotOracle supplies the hot-page signal for PolicyHybrid. Without an
+// oracle, PolicyHybrid treats every object as hot (equivalent to
+// PolicyUpdateInPlace).
+func WithHotOracle(h HotOracle) Option {
+	return func(e *Engine) { e.hot = h }
+}
+
+// WithStalenessThreshold enables weighted-staleness mode: an object is
+// remediated only when its accumulated staleness reaches t. Requires the
+// dependence graph to carry meaningful weights.
+func WithStalenessThreshold(t float64) Option {
+	return func(e *Engine) { e.threshold = t }
+}
+
+// TraceEvent records one remedy decision during a propagation, for
+// operational visibility into what DUP is doing and why.
+type TraceEvent struct {
+	Version int64
+	Key     cache.Key
+	// Action is "update", "invalidate", "defer", or "error".
+	Action string
+	// Reason explains the decision ("affected", "cold", "generator
+	// failed: ...", "staleness 2.0 < threshold 5.0").
+	Reason string
+}
+
+// TraceFunc receives trace events. It must be fast and must not call back
+// into the engine.
+type TraceFunc func(TraceEvent)
+
+// WithTrace installs a propagation tracer.
+func WithTrace(t TraceFunc) Option {
+	return func(e *Engine) { e.trace = t }
+}
+
+// WithParallelism regenerates affected objects with n concurrent workers
+// per dependency level (fragments still complete before the pages embedding
+// them). The generator and store must be safe for concurrent use; the
+// fragment engine and all cache stores in this module are. n <= 1 keeps
+// sequential regeneration.
+func WithParallelism(n int) Option {
+	return func(e *Engine) { e.workers = n }
+}
+
+// NewEngine returns an Engine over the given graph and store.
+func NewEngine(graph *odg.Graph, store Store, opts ...Option) *Engine {
+	e := &Engine{
+		graph:    graph,
+		store:    store,
+		policy:   PolicyUpdateInPlace,
+		staleAcc: make(map[cache.Key]float64),
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// Graph exposes the engine's dependence graph (registration helpers in
+// other packages need it).
+func (e *Engine) Graph() *odg.Graph { return e.graph }
+
+// Policy returns the configured remedy policy.
+func (e *Engine) Policy() Policy { return e.policy }
+
+// RegisterObject declares that the cached object key depends on exactly the
+// given underlying-data IDs, replacing any previous registration. Server
+// programs call this after each render.
+func (e *Engine) RegisterObject(key cache.Key, deps []odg.NodeID) {
+	e.graph.ReplaceDependencies(odg.NodeID(key), deps)
+}
+
+// RegisterFragment declares a cached object that other objects depend on (a
+// page fragment): it is marked KindBoth so changes flow through it.
+func (e *Engine) RegisterFragment(key cache.Key, deps []odg.NodeID) {
+	e.graph.ReplaceDependencies(odg.NodeID(key), deps)
+	e.graph.AddNode(odg.NodeID(key), odg.KindBoth)
+}
+
+// Unregister removes the object from the dependence graph (a page retired
+// from the site).
+func (e *Engine) Unregister(key cache.Key) {
+	e.graph.RemoveNode(odg.NodeID(key))
+}
+
+// OnChange runs one DUP propagation for a batch of changed underlying-data
+// IDs. version is the LSN (or other monotone stamp) of the batch; it is
+// handed to the generator so freshly rendered objects carry it.
+func (e *Engine) OnChange(version int64, changed ...odg.NodeID) Result {
+	e.propagations.Inc()
+	res := Result{Changed: len(changed)}
+	if len(changed) == 0 {
+		return res
+	}
+
+	if e.policy == PolicyConservative {
+		return e.conservative(res, changed)
+	}
+
+	var affected []odg.NodeID
+	if e.threshold > 0 {
+		affected, res.Deferred = e.thresholdFilter(changed)
+	} else {
+		affected = e.graph.Affected(changed...)
+	}
+	res.Affected = len(affected)
+
+	switch e.policy {
+	case PolicyInvalidate:
+		for _, id := range affected {
+			n := e.store.ApplyInvalidate(cache.Key(id))
+			if n > 0 {
+				res.Invalidated++
+			}
+			e.emit(TraceEvent{Version: version, Key: cache.Key(id), Action: "invalidate", Reason: "affected"})
+		}
+		e.invalidated.Add(int64(res.Invalidated))
+	case PolicyHybrid:
+		e.hybrid(&res, version, affected)
+	case PolicyUpdateInPlace:
+		e.updateInPlace(&res, version, affected)
+	}
+	return res
+}
+
+// updateInPlace regenerates the affected objects in dependency order
+// (fragments before the pages that embed them) and broadcasts each fresh
+// object to the store.
+func (e *Engine) updateInPlace(res *Result, version int64, affected []odg.NodeID) {
+	if e.gen == nil {
+		// Degrade to invalidation rather than serving stale data.
+		for _, id := range affected {
+			if e.store.ApplyInvalidate(cache.Key(id)) > 0 {
+				res.Invalidated++
+			}
+		}
+		res.Errors = append(res.Errors, ErrNoGenerator)
+		e.invalidated.Add(int64(res.Invalidated))
+		return
+	}
+	ordered := e.dependencyOrder(affected)
+	if e.workers > 1 && len(ordered) > 1 {
+		e.regenerateParallel(res, version, ordered)
+	} else {
+		for _, id := range ordered {
+			updated, invalidated, err := e.regenerateOne(version, id)
+			if updated {
+				res.Updated++
+			}
+			if invalidated {
+				res.Invalidated++
+			}
+			if err != nil {
+				res.Errors = append(res.Errors, err)
+			}
+		}
+	}
+	e.updated.Add(int64(res.Updated))
+	e.invalidated.Add(int64(res.Invalidated))
+}
+
+// regenerateOne renders a single object and applies it, or invalidates it
+// on failure — never leave a known-stale page in the cache. Safe for
+// concurrent use; result accounting is the caller's job.
+func (e *Engine) regenerateOne(version int64, id odg.NodeID) (updated, invalidated bool, err error) {
+	obj, genErr := e.gen(cache.Key(id), version)
+	if genErr != nil {
+		e.genErrors.Inc()
+		invalidated = e.store.ApplyInvalidate(cache.Key(id)) > 0
+		e.emit(TraceEvent{Version: version, Key: cache.Key(id), Action: "error", Reason: genErr.Error()})
+		return false, invalidated, fmt.Errorf("core: regenerate %q: %w", id, genErr)
+	}
+	if obj.Version == 0 {
+		obj.Version = version
+	}
+	e.store.ApplyPut(obj)
+	e.emit(TraceEvent{Version: version, Key: cache.Key(id), Action: "update", Reason: "affected"})
+	return true, false, nil
+}
+
+// emit delivers a trace event if a tracer is installed.
+func (e *Engine) emit(ev TraceEvent) {
+	if e.trace != nil {
+		e.trace(ev)
+	}
+}
+
+// regenerateParallel renders the ordered affected set with e.workers
+// goroutines, one dependency level at a time: all of a level's objects may
+// render concurrently because their predecessors completed in earlier
+// levels.
+func (e *Engine) regenerateParallel(res *Result, version int64, ordered []odg.NodeID) {
+	inSet := make(map[odg.NodeID]int, len(ordered)) // id -> level
+	var levels [][]odg.NodeID
+	for _, id := range ordered {
+		lvl := 0
+		for _, p := range e.graph.Predecessors(id) {
+			if pl, ok := inSet[p]; ok && pl+1 > lvl {
+				lvl = pl + 1
+			}
+		}
+		inSet[id] = lvl
+		for len(levels) <= lvl {
+			levels = append(levels, nil)
+		}
+		levels[lvl] = append(levels[lvl], id)
+	}
+	var mu sync.Mutex
+	for _, level := range levels {
+		sem := make(chan struct{}, e.workers)
+		var wg sync.WaitGroup
+		for _, id := range level {
+			id := id
+			wg.Add(1)
+			sem <- struct{}{}
+			go func() {
+				defer wg.Done()
+				defer func() { <-sem }()
+				updated, invalidated, err := e.regenerateOne(version, id)
+				mu.Lock()
+				if updated {
+					res.Updated++
+				}
+				if invalidated {
+					res.Invalidated++
+				}
+				if err != nil {
+					res.Errors = append(res.Errors, err)
+				}
+				mu.Unlock()
+			}()
+		}
+		wg.Wait()
+	}
+}
+
+// hybrid regenerates hot objects (and every fragment, which pages depend
+// on) in place, and invalidates cold objects so their next request
+// regenerates them on demand.
+func (e *Engine) hybrid(res *Result, version int64, affected []odg.NodeID) {
+	if e.gen == nil {
+		e.updateInPlace(res, version, affected) // degrades to invalidation
+		return
+	}
+	var regen []odg.NodeID
+	for _, id := range affected {
+		isFragment := len(e.graph.Successors(id)) > 0
+		if isFragment || e.hot == nil || e.hot(cache.Key(id)) {
+			regen = append(regen, id)
+			continue
+		}
+		if e.store.ApplyInvalidate(cache.Key(id)) > 0 {
+			res.Invalidated++
+		}
+		e.emit(TraceEvent{Version: version, Key: cache.Key(id), Action: "invalidate", Reason: "cold"})
+	}
+	e.invalidated.Add(int64(res.Invalidated))
+	e.updateInPlace(res, version, regen)
+}
+
+// dependencyOrder sorts the affected set so that predecessors (fragments)
+// come before successors (pages), using a topological sort restricted to
+// the affected subgraph — propagation cost must scale with the update's
+// fan-out, not the size of the site.
+func (e *Engine) dependencyOrder(affected []odg.NodeID) []odg.NodeID {
+	if len(affected) <= 1 {
+		return affected
+	}
+	return e.graph.SubgraphTopoOrder(affected)
+}
+
+// thresholdFilter accumulates weighted staleness for the affected objects
+// and returns only those that crossed the threshold, resetting their
+// accumulators. Objects below threshold are counted as deferred.
+func (e *Engine) thresholdFilter(changed []odg.NodeID) (due []odg.NodeID, deferred int) {
+	changes := make(map[odg.NodeID]float64, len(changed))
+	for _, id := range changed {
+		changes[id] = 1
+	}
+	st := e.graph.Staleness(changes)
+	e.staleMu.Lock()
+	for id, s := range st {
+		key := cache.Key(id)
+		acc := e.staleAcc[key] + s
+		if acc >= e.threshold {
+			delete(e.staleAcc, key)
+			due = append(due, id)
+		} else {
+			e.staleAcc[key] = acc
+			deferred++
+			e.deferred.Inc()
+			e.emit(TraceEvent{Key: key, Action: "defer",
+				Reason: fmt.Sprintf("staleness %.3g < threshold %.3g", acc, e.threshold)})
+		}
+	}
+	e.staleMu.Unlock()
+	sort.Slice(due, func(i, j int) bool { return due[i] < due[j] })
+	return due, deferred
+}
+
+// conservative implements the 1996-style remedy: map each change to key
+// prefixes and drop them all.
+func (e *Engine) conservative(res Result, changed []odg.NodeID) Result {
+	if e.mapper == nil {
+		res.Errors = append(res.Errors, errors.New("core: conservative policy requires a mapper"))
+		return res
+	}
+	prefixes := make(map[string]struct{})
+	for _, id := range changed {
+		for _, p := range e.mapper(id) {
+			prefixes[p] = struct{}{}
+		}
+	}
+	ordered := make([]string, 0, len(prefixes))
+	for p := range prefixes {
+		ordered = append(ordered, p)
+	}
+	sort.Strings(ordered)
+	for _, p := range ordered {
+		res.Invalidated += e.store.ApplyInvalidatePrefix(p)
+	}
+	res.Affected = res.Invalidated
+	e.invalidated.Add(int64(res.Invalidated))
+	return res
+}
+
+// PendingStaleness returns the accumulated below-threshold staleness for an
+// object (0 if none). Visible for tests and monitoring.
+func (e *Engine) PendingStaleness(key cache.Key) float64 {
+	e.staleMu.Lock()
+	defer e.staleMu.Unlock()
+	return e.staleAcc[key]
+}
+
+// EngineStats is a snapshot of engine counters.
+type EngineStats struct {
+	Propagations int64
+	Updated      int64
+	Invalidated  int64
+	Deferred     int64
+	GenErrors    int64
+}
+
+// Stats returns a snapshot of the engine's counters.
+func (e *Engine) Stats() EngineStats {
+	return EngineStats{
+		Propagations: e.propagations.Value(),
+		Updated:      e.updated.Value(),
+		Invalidated:  e.invalidated.Value(),
+		Deferred:     e.deferred.Value(),
+		GenErrors:    e.genErrors.Value(),
+	}
+}

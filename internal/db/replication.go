@@ -1,0 +1,140 @@
+package db
+
+import (
+	"sync"
+	"time"
+)
+
+// Replicator ships committed transactions from a master database to a
+// replica, mirroring Figure 5 of the paper (master in Nagano -> Tokyo and
+// Schaumburg -> Columbus and Bethesda). A replicator first catches the
+// replica up from the master's retained log, then applies the live feed in
+// LSN order, optionally delaying each transaction to model WAN propagation.
+//
+// Replicas are ordinary *DB values, so they have their own CDC feeds: the
+// per-complex trigger monitors subscribe to their local replica exactly as
+// the paper describes, and chained replication (Schaumburg fanning out to
+// the US east-coast sites) is just a Replicator whose master is itself a
+// replica.
+type Replicator struct {
+	master  *DB
+	replica *DB
+	delay   func(Transaction) time.Duration
+	sleep   func(time.Duration)
+
+	cancel func()
+	done   chan struct{}
+
+	mu      sync.Mutex
+	applied int64
+	stopped bool
+}
+
+// ReplOption configures a Replicator.
+type ReplOption func(*Replicator)
+
+// WithDelay applies a fixed propagation delay to every transaction.
+func WithDelay(d time.Duration) ReplOption {
+	return func(r *Replicator) { r.delay = func(Transaction) time.Duration { return d } }
+}
+
+// WithDelayFunc computes a per-transaction propagation delay.
+func WithDelayFunc(f func(Transaction) time.Duration) ReplOption {
+	return func(r *Replicator) { r.delay = f }
+}
+
+// WithSleep substitutes the sleep implementation (tests use a recorder; the
+// discrete-event simulation bypasses Replicator entirely and calls Apply on
+// its own clock).
+func WithSleep(f func(time.Duration)) ReplOption {
+	return func(r *Replicator) { r.sleep = f }
+}
+
+// StartReplication begins shipping master's log to replica and returns the
+// running Replicator. The caller must Stop it to release the feed.
+func StartReplication(master, replica *DB, opts ...ReplOption) *Replicator {
+	r := &Replicator{
+		master:  master,
+		replica: replica,
+		delay:   func(Transaction) time.Duration { return 0 },
+		sleep:   time.Sleep,
+		done:    make(chan struct{}),
+	}
+	for _, o := range opts {
+		o(r)
+	}
+	feed, cancel := master.Subscribe(256)
+	r.cancel = cancel
+
+	go func() {
+		defer close(r.done)
+		// Catch up from the retained log first. Transactions that race onto
+		// the feed during catch-up are filtered below by LSN.
+		for _, tx := range master.LogSince(replica.LSN()) {
+			if d := r.delay(tx); d > 0 {
+				r.sleep(d)
+			}
+			r.apply(tx)
+		}
+		for tx := range feed {
+			if tx.LSN <= replica.LSN() {
+				continue // already applied during catch-up
+			}
+			if d := r.delay(tx); d > 0 {
+				r.sleep(d)
+			}
+			r.apply(tx)
+		}
+	}()
+	return r
+}
+
+func (r *Replicator) apply(tx Transaction) {
+	if err := r.replica.Apply(tx); err != nil {
+		// Apply fails only on LSN gaps (a replication bug) or a closed
+		// replica (a simulated complex failure). Either way the replicator
+		// must not silently skip: record and stop consuming.
+		r.mu.Lock()
+		r.stopped = true
+		r.mu.Unlock()
+		r.cancel()
+		return
+	}
+	r.mu.Lock()
+	r.applied = tx.LSN
+	r.mu.Unlock()
+}
+
+// Lag returns how many transactions the replica trails the master by.
+func (r *Replicator) Lag() int64 {
+	return r.master.LSN() - r.replica.LSN()
+}
+
+// Applied returns the highest LSN the replicator has applied.
+func (r *Replicator) Applied() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.applied
+}
+
+// Stop unsubscribes from the master and waits for the shipping goroutine to
+// drain. Safe to call multiple times.
+func (r *Replicator) Stop() {
+	r.cancel()
+	<-r.done
+}
+
+// WaitCaughtUp blocks until the replica has applied every transaction the
+// master had committed at call time, or the timeout elapses. It reports
+// whether catch-up completed.
+func (r *Replicator) WaitCaughtUp(timeout time.Duration) bool {
+	target := r.master.LSN()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if r.replica.LSN() >= target {
+			return true
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return r.replica.LSN() >= target
+}

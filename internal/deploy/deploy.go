@@ -1,0 +1,382 @@
+// Package deploy assembles the paper's full production topology (figures 5
+// and 6): a master database in Nagano, log-shipping replication to each
+// geographic complex (optionally chained, as Schaumburg fanned out to
+// Columbus and Bethesda), and inside every complex its own replica
+// database, object dependence graph, DUP engine, trigger monitor, fragment
+// renderers, serving nodes, and Network Dispatcher — all fronted by MSIRP
+// routing.
+//
+// Where internal/sim approximates the plant with one engine for speed and
+// determinism, a Deployment runs the real asynchronous pipeline: results
+// committed at the master flow through replication delay, land on each
+// replica's change feed, and each complex's trigger monitor independently
+// regenerates and redistributes its own pages. This is the component a
+// downstream user would actually deploy; cmd/olympicsd and the
+// examples/globalgames example run on it.
+package deploy
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"dupserve/internal/cache"
+	"dupserve/internal/cluster"
+	"dupserve/internal/core"
+	"dupserve/internal/db"
+	"dupserve/internal/httpserver"
+	"dupserve/internal/odg"
+	"dupserve/internal/routing"
+	"dupserve/internal/site"
+	"dupserve/internal/trigger"
+)
+
+// ComplexSpec describes one geographic serving site.
+type ComplexSpec struct {
+	Name          string
+	Frames        int
+	NodesPerFrame int
+	// ReplicationDelay models the WAN between this complex and its feed.
+	ReplicationDelay time.Duration
+	// ChainFrom names another complex whose replica feeds this one
+	// (Columbus and Bethesda chained from Schaumburg). Empty = master.
+	ChainFrom string
+	// Distance is the backbone cost from each client region.
+	Distance map[routing.Region]int
+}
+
+// Config describes a deployment.
+type Config struct {
+	Spec site.Spec
+	// Complexes in wiring order: a chained complex must appear after its
+	// feed.
+	Complexes []ComplexSpec
+	// BatchWindow for each trigger monitor (default 10ms).
+	BatchWindow time.Duration
+	// PrimaryCost/SecondaryCost for MSIRP advertisements (default 10/20).
+	PrimaryCost   int
+	SecondaryCost int
+	// RenderWorkers regenerates affected pages concurrently within each
+	// complex's DUP engine (the paper's 8-way SMP). 0/1 = sequential.
+	RenderWorkers int
+}
+
+// NaganoConfig returns the paper's four-complex layout with chained US
+// east-coast replication, at reduced per-complex node counts.
+func NaganoConfig(spec site.Spec) Config {
+	return Config{
+		Spec: spec,
+		Complexes: []ComplexSpec{
+			{Name: "tokyo", Frames: 1, NodesPerFrame: 2, ReplicationDelay: 5 * time.Millisecond,
+				Distance: map[routing.Region]int{routing.RegionJapan: 10, routing.RegionAsia: 20, routing.RegionUS: 80, routing.RegionEurope: 90, routing.RegionOther: 60}},
+			{Name: "schaumburg", Frames: 1, NodesPerFrame: 2, ReplicationDelay: 15 * time.Millisecond,
+				Distance: map[routing.Region]int{routing.RegionUS: 10, routing.RegionEurope: 50, routing.RegionJapan: 80, routing.RegionAsia: 70, routing.RegionOther: 50}},
+			{Name: "columbus", Frames: 1, NodesPerFrame: 2, ReplicationDelay: 5 * time.Millisecond, ChainFrom: "schaumburg",
+				Distance: map[routing.Region]int{routing.RegionUS: 10, routing.RegionEurope: 50, routing.RegionJapan: 90, routing.RegionAsia: 80, routing.RegionOther: 50}},
+			{Name: "bethesda", Frames: 1, NodesPerFrame: 2, ReplicationDelay: 5 * time.Millisecond, ChainFrom: "schaumburg",
+				Distance: map[routing.Region]int{routing.RegionUS: 10, routing.RegionEurope: 48, routing.RegionJapan: 90, routing.RegionAsia: 80, routing.RegionOther: 50}},
+		},
+	}
+}
+
+// Complex is one deployed serving site with its full local pipeline.
+type Complex struct {
+	Name       string
+	Replica    *db.DB
+	Replicator *db.Replicator
+	Graph      *odg.Graph
+	Engine     *core.Engine
+	Monitor    *trigger.Monitor
+	Site       *site.Site
+	Cluster    *cluster.Complex
+}
+
+// lateStore defers the cache-group binding so the engine can be built
+// before the cluster that owns the caches.
+type lateStore struct {
+	mu sync.RWMutex
+	g  *cache.Group
+}
+
+func (s *lateStore) set(g *cache.Group) {
+	s.mu.Lock()
+	s.g = g
+	s.mu.Unlock()
+}
+
+func (s *lateStore) group() *cache.Group {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.g
+}
+
+func (s *lateStore) ApplyPut(obj *cache.Object) {
+	if g := s.group(); g != nil {
+		g.BroadcastPut(obj)
+	}
+}
+
+func (s *lateStore) ApplyInvalidate(key cache.Key) int {
+	if g := s.group(); g != nil {
+		return g.BroadcastInvalidate(key)
+	}
+	return 0
+}
+
+func (s *lateStore) ApplyInvalidatePrefix(prefix string) int {
+	if g := s.group(); g != nil {
+		return g.BroadcastInvalidatePrefix(prefix)
+	}
+	return 0
+}
+
+// Deployment is the running system.
+type Deployment struct {
+	Master *db.DB
+	// MasterSite is the write-side site bound to the master database:
+	// RecordResult, PublishNews and SetCurrentDay go through it.
+	MasterSite *site.Site
+	Router     *routing.Router
+
+	complexes map[string]*Complex
+	order     []string
+}
+
+// New assembles and starts a deployment. Call Prime before serving, and
+// Stop to shut down the monitors and replicators.
+func New(cfg Config) (*Deployment, error) {
+	if len(cfg.Complexes) == 0 {
+		return nil, errors.New("deploy: no complexes configured")
+	}
+	if cfg.BatchWindow <= 0 {
+		cfg.BatchWindow = 10 * time.Millisecond
+	}
+	if cfg.PrimaryCost == 0 {
+		cfg.PrimaryCost = 10
+	}
+	if cfg.SecondaryCost == 0 {
+		cfg.SecondaryCost = 20
+	}
+
+	d := &Deployment{
+		Master:    db.New("master"),
+		Router:    routing.NewRouter(routing.NumAddresses),
+		complexes: make(map[string]*Complex),
+	}
+	masterSite, err := site.Build(cfg.Spec, d.Master, nil)
+	if err != nil {
+		return nil, err
+	}
+	d.MasterSite = masterSite
+
+	for _, cs := range cfg.Complexes {
+		feed := d.Master
+		if cs.ChainFrom != "" {
+			up, ok := d.complexes[cs.ChainFrom]
+			if !ok {
+				d.Stop()
+				return nil, fmt.Errorf("deploy: %s chains from unknown complex %q", cs.Name, cs.ChainFrom)
+			}
+			feed = up.Replica
+		}
+		cx, err := newComplex(cs, cfg, feed)
+		if err != nil {
+			d.Stop()
+			return nil, err
+		}
+		d.complexes[cs.Name] = cx
+		d.order = append(d.order, cs.Name)
+		d.Router.AddComplex(cs.Name, cx.Cluster, cs.Distance)
+	}
+	if err := d.Router.AdvertiseSpread(d.order, cfg.PrimaryCost, cfg.SecondaryCost); err != nil {
+		d.Stop()
+		return nil, err
+	}
+	return d, nil
+}
+
+func newComplex(cs ComplexSpec, cfg Config, feed *db.DB) (*Complex, error) {
+	replica := db.New(cs.Name)
+	graph := odg.New()
+	store := &lateStore{}
+
+	var csite *site.Site
+	gen := func(key cache.Key, version int64) (*cache.Object, error) {
+		return csite.Engine.Generate(key, version)
+	}
+	opts := []core.Option{core.WithGenerator(gen)}
+	if cfg.RenderWorkers > 1 {
+		opts = append(opts, core.WithParallelism(cfg.RenderWorkers))
+	}
+	engine := core.NewEngine(graph, store, opts...)
+	var err error
+	csite, err = site.BuildReplica(cfg.Spec, replica, engine)
+	if err != nil {
+		return nil, err
+	}
+	cl := cluster.NewComplex(cluster.Config{
+		Name:          cs.Name,
+		Frames:        cs.Frames,
+		NodesPerFrame: cs.NodesPerFrame,
+		Generator:     gen,
+		Version:       replica.LSN,
+		Statics:       csite.Statics(),
+	})
+	store.set(cl.Caches)
+
+	repl := db.StartReplication(feed, replica, db.WithDelay(cs.ReplicationDelay))
+	mon := trigger.Start(replica, engine,
+		trigger.WithIndexer(csite.Indexer),
+		trigger.WithBatchWindow(cfg.BatchWindow))
+
+	return &Complex{
+		Name:       cs.Name,
+		Replica:    replica,
+		Replicator: repl,
+		Graph:      graph,
+		Engine:     engine,
+		Monitor:    mon,
+		Site:       csite,
+		Cluster:    cl,
+	}, nil
+}
+
+// Complex returns a deployed complex by name.
+func (d *Deployment) Complex(name string) (*Complex, bool) {
+	cx, ok := d.complexes[name]
+	return cx, ok
+}
+
+// Complexes returns the complexes in wiring order.
+func (d *Deployment) Complexes() []*Complex {
+	out := make([]*Complex, 0, len(d.order))
+	for _, n := range d.order {
+		out = append(out, d.complexes[n])
+	}
+	return out
+}
+
+// Prime waits for every replica to catch up with the master's seed data,
+// then pre-renders the full page set into every complex's caches — the
+// site-opening warm-up. It must be called before traffic for the paper's
+// no-miss behaviour.
+func (d *Deployment) Prime(timeout time.Duration) error {
+	if !d.WaitFresh(timeout) {
+		return errors.New("deploy: replicas did not catch up in time")
+	}
+	for _, cx := range d.Complexes() {
+		group := cx.Cluster.Caches
+		if err := cx.Site.PrerenderAll(cx.Replica.LSN(), func(o *cache.Object) {
+			group.BroadcastPut(o)
+		}); err != nil {
+			return fmt.Errorf("deploy: prime %s: %w", cx.Name, err)
+		}
+		for _, c := range group.Members() {
+			c.ResetCounters()
+		}
+	}
+	return nil
+}
+
+// WaitFresh blocks until every complex has replicated AND propagated every
+// transaction the master had committed at call time, or the timeout
+// elapses. It reports whether full freshness was reached — the paper's
+// "updated pages ... available to the rest of the world within seconds",
+// made observable.
+func (d *Deployment) WaitFresh(timeout time.Duration) bool {
+	target := d.Master.LSN()
+	deadline := time.Now().Add(timeout)
+	for {
+		fresh := true
+		for _, cx := range d.Complexes() {
+			if cx.Replica.LSN() < target {
+				fresh = false
+				break
+			}
+			cx.Monitor.Flush()
+			if cx.Monitor.LastLSN() < target {
+				fresh = false
+				break
+			}
+		}
+		if fresh {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Serve routes one client request through MSIRP to a complex and its
+// dispatcher.
+func (d *Deployment) Serve(region routing.Region, path string) (*cache.Object, httpserver.Outcome, string, error) {
+	return d.Router.Request(region, path)
+}
+
+// Stats aggregates cache behaviour across every serving node of every
+// complex.
+func (d *Deployment) Stats() cache.Stats {
+	var agg cache.Stats
+	for _, cx := range d.Complexes() {
+		s := cx.Cluster.Caches.AggregateStats()
+		agg.Hits += s.Hits
+		agg.Misses += s.Misses
+		agg.Puts += s.Puts
+		agg.Updates += s.Updates
+		agg.Invalidations += s.Invalidations
+		agg.Evictions += s.Evictions
+		agg.Items += s.Items
+		agg.Bytes += s.Bytes
+		agg.PeakBytes += s.PeakBytes
+	}
+	return agg
+}
+
+// FailComplex takes an entire complex offline: every node errors, the
+// dispatcher drains, and MSIRP reroutes its traffic to the next-cheapest
+// advertisers. Unknown names are ignored.
+func (d *Deployment) FailComplex(name string) {
+	cx, ok := d.complexes[name]
+	if !ok {
+		return
+	}
+	cx.Cluster.FailAll()
+	d.Router.SetComplexUp(name, false)
+}
+
+// RecoverComplex brings a failed complex back: nodes recover, the router
+// re-advertises, and — because the crash discarded the memory-resident
+// caches — the complex's own site re-renders and redistributes the full
+// page set from its replica, exactly as the trigger-monitor distribution
+// path would, so it rejoins warm.
+func (d *Deployment) RecoverComplex(name string) error {
+	cx, ok := d.complexes[name]
+	if !ok {
+		return fmt.Errorf("deploy: unknown complex %q", name)
+	}
+	cx.Cluster.RecoverAll()
+	d.Router.SetComplexUp(name, true)
+	group := cx.Cluster.Caches
+	if err := cx.Site.PrerenderAll(cx.Replica.LSN(), func(o *cache.Object) {
+		group.BroadcastPut(o)
+	}); err != nil {
+		return fmt.Errorf("deploy: rewarm %s: %w", name, err)
+	}
+	return nil
+}
+
+// Stop shuts down every trigger monitor and replicator. Safe to call more
+// than once and on partially constructed deployments.
+func (d *Deployment) Stop() {
+	for _, cx := range d.complexes {
+		if cx.Monitor != nil {
+			cx.Monitor.Stop()
+		}
+		if cx.Replicator != nil {
+			cx.Replicator.Stop()
+		}
+	}
+}

@@ -1,0 +1,356 @@
+// Package dispatch implements the connection-routing layer of section 4.2
+// of the paper: IBM's Interactive Network Dispatcher (ND) with its
+// Interactive Session Support (ISS) advisors.
+//
+// A Dispatcher fronts a pool of serving nodes, forwarding each request to
+// the node with the fewest outstanding requests (load-based distribution).
+// Advisors probe node health; a node that fails a probe — or fails while
+// serving — is immediately pulled from the distribution list, and requests
+// in flight fail over to the surviving nodes. That instant-eviction plus
+// retry behaviour is the bottom layer of the paper's "elegant degradation".
+//
+// Dispatcher itself satisfies the Node interface, so dispatchers compose:
+// the routing layer treats a whole complex (one dispatcher over many
+// serving nodes) as a single node, mirroring Figure 19.
+package dispatch
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"dupserve/internal/cache"
+	"dupserve/internal/httpserver"
+	"dupserve/internal/stats"
+)
+
+// Node is anything that can satisfy a request: an httpserver.Server, a
+// simulated cluster node, or another Dispatcher.
+type Node interface {
+	Name() string
+	Serve(path string) (*cache.Object, httpserver.Outcome, error)
+}
+
+// Probe reports whether a node is healthy. The default probe serves a
+// synthetic request and treats any non-error outcome as healthy.
+type Probe func(Node) bool
+
+// DefaultProbe issues a HEAD-like request for "/" and accepts any outcome
+// except an error.
+func DefaultProbe(n Node) bool {
+	_, outcome, _ := n.Serve("/")
+	return outcome != httpserver.OutcomeError
+}
+
+// ErrNoBackends is returned when every node in the pool is down.
+var ErrNoBackends = errors.New("dispatch: no healthy backends")
+
+type member struct {
+	node        Node
+	weight      int // capacity multiplier (the ND weighted SMPs above UPs)
+	outstanding int
+	up          bool
+	served      int64
+	failures    int64
+}
+
+// load is the member's normalized queue depth: outstanding work divided by
+// capacity. A weight-4 node with 4 requests in flight is as "busy" as a
+// weight-1 node with one.
+func (m *member) load() float64 {
+	return float64(m.outstanding) / float64(m.weight)
+}
+
+// Dispatcher forwards requests across a pool of nodes. Safe for concurrent
+// use.
+type Dispatcher struct {
+	name       string
+	probe      Probe
+	maxRetries int
+
+	mu      sync.Mutex
+	members []*member
+	rr      int // round-robin tiebreak cursor
+
+	forwarded stats.Counter
+	failovers stats.Counter
+	rejected  stats.Counter
+
+	stopOnce sync.Once
+	stopCh   chan struct{}
+	wg       sync.WaitGroup
+}
+
+// Option configures a Dispatcher.
+type Option func(*Dispatcher)
+
+// WithProbe substitutes the advisor health probe.
+func WithProbe(p Probe) Option {
+	return func(d *Dispatcher) { d.probe = p }
+}
+
+// WithMaxRetries bounds how many alternate nodes a request tries after a
+// node failure (default: every remaining healthy node).
+func WithMaxRetries(n int) Option {
+	return func(d *Dispatcher) { d.maxRetries = n }
+}
+
+// New returns a dispatcher over the given nodes, all initially up.
+func New(name string, nodes []Node, opts ...Option) *Dispatcher {
+	d := &Dispatcher{
+		name:       name,
+		probe:      DefaultProbe,
+		maxRetries: -1,
+		stopCh:     make(chan struct{}),
+	}
+	for _, o := range opts {
+		o(d)
+	}
+	for _, n := range nodes {
+		d.members = append(d.members, &member{node: n, weight: 1, up: true})
+	}
+	return d
+}
+
+// Name implements Node.
+func (d *Dispatcher) Name() string { return d.name }
+
+// Add inserts a node into the pool (initially up, weight 1).
+func (d *Dispatcher) Add(n Node) { d.AddWeighted(n, 1) }
+
+// AddWeighted inserts a node with a capacity weight: the Network Dispatcher
+// supported heterogeneous pools (the 8-way SMP could absorb several times a
+// uniprocessor's load), and the picker balances outstanding work divided by
+// weight. Weights below 1 are clamped to 1.
+func (d *Dispatcher) AddWeighted(n Node, weight int) {
+	if weight < 1 {
+		weight = 1
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.members = append(d.members, &member{node: n, weight: weight, up: true})
+}
+
+// Remove deletes a node from the pool by name, reporting whether it was
+// present.
+func (d *Dispatcher) Remove(name string) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i, m := range d.members {
+		if m.node.Name() == name {
+			d.members = append(d.members[:i], d.members[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// MarkDown pulls a node from the distribution list without removing it.
+func (d *Dispatcher) MarkDown(name string) bool { return d.setUp(name, false) }
+
+// MarkUp returns a node to the distribution list.
+func (d *Dispatcher) MarkUp(name string) bool { return d.setUp(name, true) }
+
+func (d *Dispatcher) setUp(name string, up bool) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, m := range d.members {
+		if m.node.Name() == name {
+			m.up = up
+			return true
+		}
+	}
+	return false
+}
+
+// Healthy returns the names of nodes currently in the distribution list,
+// sorted.
+func (d *Dispatcher) Healthy() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var out []string
+	for _, m := range d.members {
+		if m.up {
+			out = append(out, m.node.Name())
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HealthyCount returns how many nodes are in the distribution list.
+func (d *Dispatcher) HealthyCount() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := 0
+	for _, m := range d.members {
+		if m.up {
+			n++
+		}
+	}
+	return n
+}
+
+// pick selects the healthy node with the fewest outstanding requests,
+// breaking ties round-robin, and accounts an outstanding request against
+// it. exclude lists members already tried for this request.
+func (d *Dispatcher) pick(exclude map[*member]bool) *member {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var best *member
+	n := len(d.members)
+	if n == 0 {
+		return nil
+	}
+	for i := 0; i < n; i++ {
+		m := d.members[(d.rr+i)%n]
+		if !m.up || exclude[m] {
+			continue
+		}
+		if best == nil || m.load() < best.load() {
+			best = m
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	d.rr = (d.rr + 1) % n
+	best.outstanding++
+	return best
+}
+
+func (d *Dispatcher) release(m *member, failed bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	m.outstanding--
+	if failed {
+		m.failures++
+		m.up = false // advisor semantics: serving failure pulls the node
+	} else {
+		m.served++
+	}
+}
+
+// Serve implements Node: forward the request to a healthy backend, failing
+// over (and pulling failed nodes) until a node answers or the pool is
+// exhausted.
+func (d *Dispatcher) Serve(path string) (*cache.Object, httpserver.Outcome, error) {
+	tried := make(map[*member]bool)
+	retries := 0
+	for {
+		m := d.pick(tried)
+		if m == nil {
+			d.rejected.Inc()
+			return nil, httpserver.OutcomeError, fmt.Errorf("%w (%s)", ErrNoBackends, d.name)
+		}
+		tried[m] = true
+		obj, outcome, err := m.node.Serve(path)
+		if outcome == httpserver.OutcomeError && err != nil && !errors.Is(err, httpserver.ErrNoRoute) {
+			// Node-level failure: pull it and fail over.
+			d.release(m, true)
+			d.failovers.Inc()
+			retries++
+			if d.maxRetries >= 0 && retries > d.maxRetries {
+				d.rejected.Inc()
+				return nil, httpserver.OutcomeError, fmt.Errorf("dispatch: retries exhausted: %w", err)
+			}
+			continue
+		}
+		d.release(m, false)
+		d.forwarded.Inc()
+		return obj, outcome, err
+	}
+}
+
+// CheckNow runs one advisor sweep synchronously: every node is probed, and
+// its distribution-list membership set accordingly. Returns the number of
+// healthy nodes. The simulation calls this on its own clock; live servers
+// use StartAdvisors.
+func (d *Dispatcher) CheckNow() int {
+	d.mu.Lock()
+	nodes := make([]*member, len(d.members))
+	copy(nodes, d.members)
+	d.mu.Unlock()
+
+	healthy := 0
+	for _, m := range nodes {
+		ok := d.probe(m.node)
+		d.mu.Lock()
+		m.up = ok
+		d.mu.Unlock()
+		if ok {
+			healthy++
+		}
+	}
+	return healthy
+}
+
+// StartAdvisors launches a background advisor loop probing every interval.
+// Stop terminates it.
+func (d *Dispatcher) StartAdvisors(interval time.Duration) {
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				d.CheckNow()
+			case <-d.stopCh:
+				return
+			}
+		}
+	}()
+}
+
+// Stop terminates advisor loops. Safe to call multiple times, and a no-op
+// if StartAdvisors was never called.
+func (d *Dispatcher) Stop() {
+	d.stopOnce.Do(func() { close(d.stopCh) })
+	d.wg.Wait()
+}
+
+// NodeStats describes one pool member.
+type NodeStats struct {
+	Name        string
+	Up          bool
+	Weight      int
+	Outstanding int
+	Served      int64
+	Failures    int64
+}
+
+// DispatcherStats snapshots the dispatcher.
+type DispatcherStats struct {
+	Forwarded int64
+	Failovers int64
+	Rejected  int64
+	Nodes     []NodeStats
+}
+
+// Stats returns a snapshot of pool state and counters.
+func (d *Dispatcher) Stats() DispatcherStats {
+	d.mu.Lock()
+	nodes := make([]NodeStats, 0, len(d.members))
+	for _, m := range d.members {
+		nodes = append(nodes, NodeStats{
+			Name:        m.node.Name(),
+			Up:          m.up,
+			Weight:      m.weight,
+			Outstanding: m.outstanding,
+			Served:      m.served,
+			Failures:    m.failures,
+		})
+	}
+	d.mu.Unlock()
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Name < nodes[j].Name })
+	return DispatcherStats{
+		Forwarded: d.forwarded.Value(),
+		Failovers: d.failovers.Value(),
+		Rejected:  d.rejected.Value(),
+		Nodes:     nodes,
+	}
+}

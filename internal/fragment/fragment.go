@@ -1,0 +1,283 @@
+// Package fragment implements the page-composition layer of the 1998 web
+// site (section 3.1, figure 15 of the paper).
+//
+// Pages at the Olympic site were assembled from fragments: a result update
+// changed a medal-standings fragment, a recent-results fragment, athlete
+// fragments, and so on, and those fragments were embedded in dozens of
+// pages (the home page for the day, sport/event pages, country and athlete
+// pages). Fragments are themselves cached objects that other objects depend
+// on — exactly the paper's "item which constitutes both an object and
+// underlying data" (odg.KindBoth).
+//
+// The Engine renders named pages and fragments. While a renderer runs, its
+// Context records every database row it reads and every fragment it
+// includes; those recordings become the object's dependency registration in
+// the ODG, so the application never hand-maintains the graph — it simply
+// renders, and DUP learns the dependencies as a side effect. This mirrors
+// the paper's statement that "an application program is responsible for
+// communicating data dependencies ... to the cache".
+package fragment
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"dupserve/internal/cache"
+	"dupserve/internal/db"
+	"dupserve/internal/odg"
+)
+
+// FragPrefix namespaces fragment keys so they can share the page cache
+// without colliding with servable page paths.
+const FragPrefix = "frag:"
+
+// Registrar receives dependency registrations after each render. It is
+// satisfied by *core.Engine; the indirection keeps this package free of a
+// dependency on the DUP engine.
+type Registrar interface {
+	RegisterObject(key cache.Key, deps []odg.NodeID)
+	RegisterFragment(key cache.Key, deps []odg.NodeID)
+}
+
+// Func renders a page or fragment. It reads data exclusively through the
+// Context so dependencies are captured.
+type Func func(ctx *Context) ([]byte, error)
+
+// ErrUnknown is returned when rendering an unregistered name.
+var ErrUnknown = errors.New("fragment: unknown page or fragment")
+
+// ErrDepth is returned when fragment inclusion nests deeper than the
+// engine's limit (a cyclic include).
+var ErrDepth = errors.New("fragment: include depth exceeded")
+
+// Engine renders registered pages and fragments against a database,
+// recording dependencies. Safe for concurrent use.
+type Engine struct {
+	database  *db.DB
+	registrar Registrar
+	fragCache *cache.Cache
+	maxDepth  int
+
+	mu   sync.RWMutex
+	defs map[string]Func
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithMaxDepth bounds fragment include nesting (default 8).
+func WithMaxDepth(d int) Option {
+	return func(e *Engine) { e.maxDepth = d }
+}
+
+// NewEngine returns an engine reading from database and reporting
+// dependency registrations to registrar (which may be nil for standalone
+// use, e.g. in tests or static generation).
+func NewEngine(database *db.DB, registrar Registrar, opts ...Option) *Engine {
+	e := &Engine{
+		database:  database,
+		registrar: registrar,
+		fragCache: cache.New("fragments"),
+		maxDepth:  8,
+		defs:      make(map[string]Func),
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// Define registers the renderer for a page path ("/en/day7/home") or a
+// fragment name ("frag:medals"). Redefining replaces.
+func (e *Engine) Define(name string, fn Func) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.defs[name] = fn
+}
+
+// Names returns all registered names, sorted.
+func (e *Engine) Names() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]string, 0, len(e.defs))
+	for n := range e.defs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Defined reports whether name has a renderer.
+func (e *Engine) Defined(name string) bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	_, ok := e.defs[name]
+	return ok
+}
+
+// IsFragment reports whether name uses the fragment namespace.
+func IsFragment(name string) bool { return strings.HasPrefix(name, FragPrefix) }
+
+// FragmentCache exposes the internal fragment store (diagnostics and
+// tests).
+func (e *Engine) FragmentCache() *cache.Cache { return e.fragCache }
+
+// Generate renders name at the given version, registers its dependencies,
+// and returns the cacheable object. It satisfies core.Generator, so an
+// Engine plugs directly into the DUP engine as the regenerator for
+// update-in-place propagation. Fragments are additionally stored in the
+// engine's fragment cache so that including pages splice the fresh bytes.
+func (e *Engine) Generate(key cache.Key, version int64) (*cache.Object, error) {
+	return e.render(string(key), version, 0)
+}
+
+func (e *Engine) render(name string, version int64, depth int) (*cache.Object, error) {
+	if depth > e.maxDepth {
+		return nil, fmt.Errorf("%w (%d) rendering %q", ErrDepth, e.maxDepth, name)
+	}
+	e.mu.RLock()
+	fn, ok := e.defs[name]
+	e.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknown, name)
+	}
+	ctx := &Context{engine: e, version: version, depth: depth, deps: make(map[odg.NodeID]struct{})}
+	body, err := fn(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("fragment: render %q: %w", name, err)
+	}
+	ct := ctx.contentType
+	if ct == "" {
+		ct = "text/html; charset=utf-8"
+	}
+	obj := &cache.Object{
+		Key:         cache.Key(name),
+		Value:       body,
+		ContentType: ct,
+		Version:     version,
+	}
+	deps := ctx.depList()
+	if IsFragment(name) {
+		e.fragCache.Put(obj)
+		if e.registrar != nil {
+			e.registrar.RegisterFragment(obj.Key, deps)
+		}
+	} else if e.registrar != nil {
+		e.registrar.RegisterObject(obj.Key, deps)
+	}
+	return obj, nil
+}
+
+// Context is the render-time view handed to a Func. It is not safe for
+// concurrent use and must not outlive the render call.
+type Context struct {
+	engine      *Engine
+	version     int64
+	depth       int
+	deps        map[odg.NodeID]struct{}
+	buf         bytes.Buffer
+	contentType string
+}
+
+// SetContentType overrides the rendered object's content type (default
+// "text/html; charset=utf-8") — syndication feeds render JSON or XML.
+func (c *Context) SetContentType(ct string) { c.contentType = ct }
+
+// Version returns the version (database LSN) this render was requested at.
+func (c *Context) Version() int64 { return c.version }
+
+// DependOn records an explicit dependency on an arbitrary ODG vertex.
+// Renderers use it for computed dependencies that no direct read expresses
+// (e.g. a per-table index vertex bumped whenever rows are inserted, so
+// "list all events" pages refresh when events appear).
+func (c *Context) DependOn(id odg.NodeID) { c.deps[id] = struct{}{} }
+
+// Get reads a row and records the dependency on it. Reading an absent row
+// still records the dependency — the page's content ("no results yet")
+// depends on the row staying absent.
+func (c *Context) Get(table, key string) (db.Row, bool, error) {
+	c.deps[odg.NodeID(db.RowID(table, key))] = struct{}{}
+	return c.engine.database.Get(table, key)
+}
+
+// Scan reads all rows with the key prefix, recording a dependency on each
+// returned row and on the table's prefix index vertex ("db:<table>:index:
+// <prefix>"), which writers bump when inserting or deleting rows under the
+// prefix. The index dependency is what makes membership changes (a new
+// event appearing) propagate, not just mutations of already-read rows.
+func (c *Context) Scan(table, prefix string) ([]db.Row, error) {
+	rows, err := c.engine.database.Scan(table, prefix)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
+		c.deps[odg.NodeID(db.RowID(table, r.Key))] = struct{}{}
+	}
+	c.deps[odg.NodeID(IndexID(table, prefix))] = struct{}{}
+	return rows, nil
+}
+
+// IndexID renders the ODG vertex name for a table-prefix membership index.
+// Writers that insert or delete rows under a prefix include this ID in
+// their change set so scan-based pages refresh.
+func IndexID(table, prefix string) string {
+	return "db:" + table + ":index:" + prefix
+}
+
+// Include renders (or reuses the cached copy of) a fragment, splices its
+// bytes into the caller's output, and records a dependency on the fragment
+// vertex — not on the fragment's own underlying rows; transitivity through
+// the ODG handles those.
+func (c *Context) Include(fragName string) ([]byte, error) {
+	if !IsFragment(fragName) {
+		return nil, fmt.Errorf("fragment: Include of non-fragment name %q", fragName)
+	}
+	c.deps[odg.NodeID(fragName)] = struct{}{}
+	if obj, ok := c.engine.fragCache.Get(cache.Key(fragName)); ok {
+		return obj.Value, nil
+	}
+	obj, err := c.engine.render(fragName, c.version, c.depth+1)
+	if err != nil {
+		return nil, err
+	}
+	return obj.Value, nil
+}
+
+// Printf appends formatted output to the context's build buffer.
+func (c *Context) Printf(format string, args ...any) {
+	fmt.Fprintf(&c.buf, format, args...)
+}
+
+// Write appends raw bytes to the build buffer, implementing io.Writer.
+func (c *Context) Write(p []byte) (int, error) { return c.buf.Write(p) }
+
+// IncludeInto renders the fragment and appends it to the build buffer.
+func (c *Context) IncludeInto(fragName string) error {
+	b, err := c.Include(fragName)
+	if err != nil {
+		return err
+	}
+	c.buf.Write(b)
+	return nil
+}
+
+// Bytes returns a copy of the build buffer; renderers that used
+// Printf/Write/IncludeInto return it directly.
+func (c *Context) Bytes() []byte {
+	out := make([]byte, c.buf.Len())
+	copy(out, c.buf.Bytes())
+	return out
+}
+
+func (c *Context) depList() []odg.NodeID {
+	out := make([]odg.NodeID, 0, len(c.deps))
+	for id := range c.deps {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,296 @@
+// Package httpserver implements the web-serving substrate (section 2 of the
+// paper): a server that satisfies requests for dynamic pages cache-first,
+// regenerating on miss via a persistent FastCGI-style server program.
+//
+// The paper's servers could serve cached dynamic pages "at roughly the same
+// rates as static pages", but only because the CGI model — fork a process
+// per request — was replaced with persistent server programs (FastCGI /
+// NSAPI / ISAPI / ICAPI). The Server models both: its fast path is a
+// direct in-process handler, and an optional per-request overhead hook
+// reproduces the CGI cost for the E2 baseline benchmarks.
+//
+// Server doubles as the node model for the discrete-event simulation: the
+// Serve method performs the full cache-first logic without any networking,
+// and ServeHTTP wraps it for real sockets (cmd/olympicsd).
+package httpserver
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+
+	"dupserve/internal/cache"
+	"dupserve/internal/core"
+	"dupserve/internal/stats"
+)
+
+// Outcome classifies how a request was satisfied.
+type Outcome uint8
+
+const (
+	// OutcomeHit means the page was served from the cache.
+	OutcomeHit Outcome = iota
+	// OutcomeMiss means the page was generated on demand (and cached).
+	OutcomeMiss
+	// OutcomeStatic means the page came from the static store.
+	OutcomeStatic
+	// OutcomeNotFound means no static page and no generator route matched.
+	OutcomeNotFound
+	// OutcomeError means generation failed.
+	OutcomeError
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeHit:
+		return "hit"
+	case OutcomeMiss:
+		return "miss"
+	case OutcomeStatic:
+		return "static"
+	case OutcomeNotFound:
+		return "notfound"
+	case OutcomeError:
+		return "error"
+	default:
+		return fmt.Sprintf("outcome(%d)", uint8(o))
+	}
+}
+
+// ErrNoRoute is returned by Serve for paths with neither static content nor
+// a generator.
+var ErrNoRoute = errors.New("httpserver: no route")
+
+// VersionFunc reports the current data version (database LSN) so that pages
+// generated on miss carry an accurate freshness stamp.
+type VersionFunc func() int64
+
+// Server is one serving node: a local cache in front of a page generator
+// plus a static store. Safe for concurrent use.
+type Server struct {
+	name     string
+	cache    *cache.Cache
+	gen      core.Generator
+	version  VersionFunc
+	overhead func() // simulated per-request invocation overhead (CGI fork)
+	noCache  bool   // disable caching entirely (uncached-dynamic baseline)
+
+	mu     sync.RWMutex
+	static map[string]*cache.Object
+
+	requests stats.Counter
+	hits     stats.Counter
+	misses   stats.Counter
+	statics  stats.Counter
+	notFound stats.Counter
+	errs     stats.Counter
+	bytesOut stats.Counter
+}
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithOverhead installs a hook executed once per dynamic request before any
+// cache lookup, modeling per-invocation cost such as a CGI fork.
+func WithOverhead(f func()) Option {
+	return func(s *Server) { s.overhead = f }
+}
+
+// WithoutCache disables the page cache: every dynamic request regenerates.
+// This is the uncached-dynamic baseline of the E2 experiment.
+func WithoutCache() Option {
+	return func(s *Server) { s.noCache = true }
+}
+
+// SpinOverhead returns an overhead hook that burns roughly n iterations of
+// integer work, emulating CPU cost (a process fork, interpreter startup)
+// without sleeping — so benchmarks account it as real work.
+func SpinOverhead(n int) func() {
+	return func() {
+		x := uint64(88172645463325252)
+		for i := 0; i < n; i++ {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+		}
+		if x == 0 { // never true; defeats dead-code elimination
+			panic("xorshift reached zero")
+		}
+	}
+}
+
+// New returns a serving node. c is the node-local page cache (typically a
+// member of the complex's cache.Group); gen regenerates dynamic pages on
+// miss (nil means dynamic misses 404); version stamps generated pages.
+func New(name string, c *cache.Cache, gen core.Generator, version VersionFunc, opts ...Option) *Server {
+	if version == nil {
+		version = func() int64 { return 0 }
+	}
+	s := &Server{
+		name:    name,
+		cache:   c,
+		gen:     gen,
+		version: version,
+		static:  make(map[string]*cache.Object),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Name returns the node name.
+func (s *Server) Name() string { return s.name }
+
+// Cache returns the node-local cache.
+func (s *Server) Cache() *cache.Cache { return s.cache }
+
+// SetStatic installs a static page (served from the "file system", never
+// cached or invalidated).
+func (s *Server) SetStatic(path string, body []byte, contentType string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.static[path] = &cache.Object{Key: cache.Key(path), Value: body, ContentType: contentType}
+}
+
+// Serve satisfies one request for path, returning the object and how it was
+// satisfied. This is the transport-independent core used by both ServeHTTP
+// and the simulator.
+func (s *Server) Serve(path string) (*cache.Object, Outcome, error) {
+	s.requests.Inc()
+
+	s.mu.RLock()
+	st, isStatic := s.static[path]
+	s.mu.RUnlock()
+	if isStatic {
+		s.statics.Inc()
+		s.bytesOut.Add(int64(len(st.Value)))
+		return st, OutcomeStatic, nil
+	}
+
+	// Dynamic path: per-invocation overhead applies whether or not the
+	// page is cached — it models invoking the server program at all.
+	if s.overhead != nil {
+		s.overhead()
+	}
+
+	if !s.noCache && s.cache != nil {
+		if obj, ok := s.cache.Get(cache.Key(path)); ok {
+			s.hits.Inc()
+			s.bytesOut.Add(int64(len(obj.Value)))
+			return obj, OutcomeHit, nil
+		}
+	}
+
+	if s.gen == nil {
+		s.notFound.Inc()
+		return nil, OutcomeNotFound, fmt.Errorf("%w: %q", ErrNoRoute, path)
+	}
+	obj, err := s.gen(cache.Key(path), s.version())
+	if err != nil {
+		if errors.Is(err, ErrNoRoute) || isUnknownPage(err) {
+			s.notFound.Inc()
+			return nil, OutcomeNotFound, err
+		}
+		s.errs.Inc()
+		return nil, OutcomeError, err
+	}
+	if !s.noCache && s.cache != nil {
+		s.cache.Put(obj)
+	}
+	s.misses.Inc()
+	s.bytesOut.Add(int64(len(obj.Value)))
+	return obj, OutcomeMiss, nil
+}
+
+// isUnknownPage sniffs generator "unknown page" errors without importing
+// the fragment package (which would invert the layering). The fragment
+// engine wraps its ErrUnknown with a message containing this marker.
+func isUnknownPage(err error) bool {
+	return err != nil && strings.Contains(err.Error(), "unknown page")
+}
+
+// ETag derives the entity tag for a cached object from its version and
+// size. Because DUP stamps every regenerated object with the LSN of the
+// update that produced it, the tag changes exactly when the content does —
+// conditional GETs ride the same freshness information the cache uses.
+func ETag(obj *cache.Object) string {
+	return fmt.Sprintf(`"v%d-%d"`, obj.Version, len(obj.Value))
+}
+
+// ServeHTTP implements http.Handler over Serve, with conditional-GET
+// support: a matching If-None-Match yields 304 Not Modified with no body.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	obj, outcome, err := s.Serve(r.URL.Path)
+	switch outcome {
+	case OutcomeNotFound:
+		http.NotFound(w, r)
+		return
+	case OutcomeError:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	etag := ETag(obj)
+	w.Header().Set("ETag", etag)
+	w.Header().Set("X-Cache", outcome.String())
+	w.Header().Set("X-Version", fmt.Sprint(obj.Version))
+	w.Header().Set("X-Node", s.name)
+	if r.Header.Get("If-None-Match") == etag {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	if obj.ContentType != "" {
+		w.Header().Set("Content-Type", obj.ContentType)
+	}
+	if _, err := w.Write(obj.Value); err != nil {
+		// Client went away mid-write; nothing further to do.
+		return
+	}
+}
+
+// ServerStats snapshots a node's counters.
+type ServerStats struct {
+	Requests int64
+	Hits     int64
+	Misses   int64
+	Statics  int64
+	NotFound int64
+	Errors   int64
+	BytesOut int64
+}
+
+// HitRate returns hits/(hits+misses) over dynamic requests only.
+func (s ServerStats) HitRate() float64 {
+	d := s.Hits + s.Misses
+	if d == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(d)
+}
+
+// Stats returns a snapshot of the node's counters.
+func (s *Server) Stats() ServerStats {
+	return ServerStats{
+		Requests: s.requests.Value(),
+		Hits:     s.hits.Value(),
+		Misses:   s.misses.Value(),
+		Statics:  s.statics.Value(),
+		NotFound: s.notFound.Value(),
+		Errors:   s.errs.Value(),
+		BytesOut: s.bytesOut.Value(),
+	}
+}
+
+// ResetStats zeroes the node's counters.
+func (s *Server) ResetStats() {
+	s.requests.Reset()
+	s.hits.Reset()
+	s.misses.Reset()
+	s.statics.Reset()
+	s.notFound.Reset()
+	s.errs.Reset()
+	s.bytesOut.Reset()
+}

@@ -1,0 +1,187 @@
+// Package netsim models the client-side network path used in the paper's
+// response-time measurements (section 5, figure 22 and tables 1-2).
+//
+// The paper measured "time to access the home page" from 28.8 Kbps modems
+// in several countries. At modem speeds the response time is dominated by
+// the transfer itself: a home page of H bytes plus its embedded objects,
+// each costing TCP/HTTP round trips, moving through a pipe whose effective
+// throughput is the modem rate times a protocol-efficiency factor. Server
+// time matters only when a site is slow to generate pages — which is
+// exactly the contrast the tables draw between the cache-served Olympics
+// site and conventional dynamic sites.
+//
+// The model is deterministic: given a link, a page, a server time, and a
+// congestion factor, FetchTime always returns the same duration. The
+// simulator layers day-by-day congestion (the US days 7-9 blip) on top.
+package netsim
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// LinkSpec describes a client access link.
+type LinkSpec struct {
+	// DownKbps is the nominal downstream rate in kilobits/second.
+	DownKbps float64
+	// RTT is the round-trip time between client and server.
+	RTT time.Duration
+	// Efficiency is the fraction of nominal bandwidth achieved after
+	// protocol overhead (TCP slow start, PPP framing); 0 < Efficiency <= 1.
+	Efficiency float64
+}
+
+// Modem288 returns the paper's measurement link: a 28.8 Kbps modem with a
+// typical dial-up ISP round trip.
+func Modem288() LinkSpec {
+	return LinkSpec{DownKbps: 28.8, RTT: 150 * time.Millisecond, Efficiency: 0.92}
+}
+
+// LAN returns a fast local link (used to show that "for clients
+// communicating via fast links, response times were nearly instantaneous").
+func LAN() LinkSpec {
+	return LinkSpec{DownKbps: 10_000, RTT: 2 * time.Millisecond, Efficiency: 0.9}
+}
+
+// PageSpec describes a fetched page: total payload bytes and the number of
+// HTTP objects composing it (HTML plus embedded images). Each object costs
+// connection round trips under HTTP/1.0-era behaviour.
+type PageSpec struct {
+	Bytes   int
+	Objects int
+}
+
+// HomePage1998 approximates the Nagano home page: rich (figure 13) but
+// engineered for modem delivery — roughly 45 KB across 8 objects.
+func HomePage1998() PageSpec { return PageSpec{Bytes: 45 * 1024, Objects: 8} }
+
+// rttsPerObject is the round trips each object costs: TCP connect plus
+// HTTP request/response (HTTP/1.0, no keep-alive — the 1998 norm).
+const rttsPerObject = 2
+
+// FetchTime returns the time for a client on link to fetch page from a
+// server that spends serverTime producing each object, under a congestion
+// multiplier (1 = clear network; 2 = half effective bandwidth and double
+// queueing delay). It never returns a negative duration; degenerate inputs
+// (zero bandwidth) yield a very large but finite time.
+func FetchTime(link LinkSpec, page PageSpec, serverTime time.Duration, congestion float64) time.Duration {
+	if congestion < 1 {
+		congestion = 1
+	}
+	eff := link.Efficiency
+	if eff <= 0 || eff > 1 {
+		eff = 1
+	}
+	bps := link.DownKbps * 1000 * eff / congestion
+	if bps <= 1 {
+		bps = 1
+	}
+	objects := page.Objects
+	if objects < 1 {
+		objects = 1
+	}
+	// Per-object setup cost: round trips inflated by congestion (queueing).
+	setup := time.Duration(float64(link.RTT) * rttsPerObject * congestion * float64(objects))
+	transfer := time.Duration(float64(page.Bytes*8) / bps * float64(time.Second))
+	server := time.Duration(objects) * serverTime
+	return setup + transfer + server
+}
+
+// TransmitRate returns the effective throughput in Kbps that the paper's
+// tables report: total payload bits divided by the full fetch time.
+func TransmitRate(page PageSpec, total time.Duration) float64 {
+	if total <= 0 {
+		return 0
+	}
+	return float64(page.Bytes*8) / 1000 / total.Seconds()
+}
+
+// SiteProfile describes a measured web site for the table 1/2 comparisons.
+type SiteProfile struct {
+	Name string
+	// Page is the site's home page composition.
+	Page PageSpec
+	// ServerTime is per-object server-side latency. The cache-served
+	// Olympics site is near zero; conventional dynamic sites are tens to
+	// hundreds of milliseconds.
+	ServerTime time.Duration
+	// PathCongestion models how loaded the route between a typical client
+	// and the site is (>= 1).
+	PathCongestion float64
+}
+
+// Measurement is one row of the paper's tables 1 and 2.
+type Measurement struct {
+	Site         string
+	MeanResponse float64 // seconds
+	TransmitRate float64 // Kbps
+}
+
+// Measure fetches the site's home page over the link and reports the
+// table-style row.
+func Measure(link LinkSpec, site SiteProfile) Measurement {
+	t := FetchTime(link, site.Page, site.ServerTime, site.PathCongestion)
+	return Measurement{
+		Site:         site.Name,
+		MeanResponse: t.Seconds(),
+		TransmitRate: TransmitRate(site.Page, t),
+	}
+}
+
+// SampledMeasurement extends Measurement with spread across repeated
+// fetches — the paper's tables are means over a day of measurements, not
+// single probes.
+type SampledMeasurement struct {
+	Measurement
+	Samples int
+	StdDev  float64 // seconds
+	Min     float64
+	Max     float64
+}
+
+// MeasureSamples fetches the site n times with deterministic multiplicative
+// congestion jitter (seeded), reporting mean, spread, and the mean
+// effective transmit rate. jitter is the fractional amplitude (0.15 = ±15%
+// around the configured PathCongestion).
+func MeasureSamples(link LinkSpec, site SiteProfile, n int, jitter float64, seed int64) SampledMeasurement {
+	if n < 1 {
+		n = 1
+	}
+	if jitter < 0 {
+		jitter = 0
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var sum, sumSq, min, max float64
+	for i := 0; i < n; i++ {
+		c := site.PathCongestion * (1 + jitter*(2*rng.Float64()-1))
+		if c < 1 {
+			c = 1
+		}
+		t := FetchTime(link, site.Page, site.ServerTime, c).Seconds()
+		sum += t
+		sumSq += t * t
+		if i == 0 || t < min {
+			min = t
+		}
+		if t > max {
+			max = t
+		}
+	}
+	mean := sum / float64(n)
+	variance := sumSq/float64(n) - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return SampledMeasurement{
+		Measurement: Measurement{
+			Site:         site.Name,
+			MeanResponse: mean,
+			TransmitRate: TransmitRate(site.Page, time.Duration(mean*float64(time.Second))),
+		},
+		Samples: n,
+		StdDev:  math.Sqrt(variance),
+		Min:     min,
+		Max:     max,
+	}
+}

@@ -1,0 +1,159 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestModemHomePageInPaperRange(t *testing.T) {
+	// The paper's Olympics rows: mean response 16-19s, transmit rate
+	// 22-26 Kbps on a 28.8 modem. Our model must land in that band for the
+	// cache-served (near-zero server time) case.
+	m := Measure(Modem288(), SiteProfile{
+		Name:           "olympics",
+		Page:           HomePage1998(),
+		ServerTime:     2 * time.Millisecond,
+		PathCongestion: 1,
+	})
+	if m.MeanResponse < 14 || m.MeanResponse > 21 {
+		t.Fatalf("response = %.2fs, want 14-21s", m.MeanResponse)
+	}
+	if m.TransmitRate < 17 || m.TransmitRate > 27 {
+		t.Fatalf("rate = %.2f Kbps, want 17-27", m.TransmitRate)
+	}
+}
+
+func TestFastLinkNearlyInstant(t *testing.T) {
+	// "For clients communicating with the Internet via fast links,
+	// response times were nearly instantaneous."
+	ft := FetchTime(LAN(), HomePage1998(), 2*time.Millisecond, 1)
+	if ft > time.Second {
+		t.Fatalf("LAN fetch = %v, want < 1s", ft)
+	}
+}
+
+func TestServerTimeSeparatesSites(t *testing.T) {
+	link := Modem288()
+	fast := Measure(link, SiteProfile{Name: "cached", Page: HomePage1998(), ServerTime: 2 * time.Millisecond, PathCongestion: 1})
+	slow := Measure(link, SiteProfile{Name: "cgi", Page: HomePage1998(), ServerTime: 400 * time.Millisecond, PathCongestion: 1})
+	if slow.MeanResponse <= fast.MeanResponse+2 {
+		t.Fatalf("slow site %.2fs not clearly slower than fast site %.2fs", slow.MeanResponse, fast.MeanResponse)
+	}
+	if slow.TransmitRate >= fast.TransmitRate {
+		t.Fatal("slow site should show lower effective transmit rate")
+	}
+}
+
+func TestCongestionSlowsFetch(t *testing.T) {
+	link := Modem288()
+	page := HomePage1998()
+	clear := FetchTime(link, page, 0, 1)
+	congested := FetchTime(link, page, 0, 2)
+	if congested <= clear {
+		t.Fatal("congestion had no effect")
+	}
+	// Congestion below 1 is clamped to 1.
+	if FetchTime(link, page, 0, 0.1) != clear {
+		t.Fatal("congestion < 1 not clamped")
+	}
+}
+
+func TestFetchTimeDegenerateInputs(t *testing.T) {
+	// Zero bandwidth must not divide by zero or go negative.
+	ft := FetchTime(LinkSpec{DownKbps: 0, RTT: 0, Efficiency: 0}, PageSpec{Bytes: 100, Objects: 0}, 0, 1)
+	if ft <= 0 {
+		t.Fatalf("degenerate fetch = %v", ft)
+	}
+}
+
+func TestTransmitRateZeroDuration(t *testing.T) {
+	if TransmitRate(HomePage1998(), 0) != 0 {
+		t.Fatal("zero duration should yield zero rate")
+	}
+	if TransmitRate(HomePage1998(), -time.Second) != 0 {
+		t.Fatal("negative duration should yield zero rate")
+	}
+}
+
+func TestTransmitRateConsistency(t *testing.T) {
+	// rate * time == bits, by definition.
+	page := PageSpec{Bytes: 36000, Objects: 4}
+	d := 10 * time.Second
+	rate := TransmitRate(page, d)
+	bits := rate * 1000 * d.Seconds()
+	if math.Abs(bits-float64(page.Bytes*8)) > 1 {
+		t.Fatalf("rate inconsistency: %v bits vs %v", bits, page.Bytes*8)
+	}
+}
+
+// Property: fetch time is monotone in page size, server time, and
+// congestion.
+func TestFetchTimeMonotoneProperty(t *testing.T) {
+	f := func(extraKB uint8, extraServerMS uint8, extraCongestion uint8) bool {
+		link := Modem288()
+		base := PageSpec{Bytes: 10_000, Objects: 4}
+		bigger := PageSpec{Bytes: base.Bytes + int(extraKB)*1024, Objects: 4}
+		t0 := FetchTime(link, base, 0, 1)
+		if FetchTime(link, bigger, 0, 1) < t0 {
+			return false
+		}
+		if FetchTime(link, base, time.Duration(extraServerMS)*time.Millisecond, 1) < t0 {
+			return false
+		}
+		if FetchTime(link, base, 0, 1+float64(extraCongestion)/16) < t0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMoreObjectsCostMoreSetup(t *testing.T) {
+	link := Modem288()
+	few := FetchTime(link, PageSpec{Bytes: 40000, Objects: 2}, 0, 1)
+	many := FetchTime(link, PageSpec{Bytes: 40000, Objects: 20}, 0, 1)
+	if many <= few {
+		t.Fatal("object count had no setup cost")
+	}
+}
+
+func BenchmarkFetchTime(b *testing.B) {
+	link := Modem288()
+	page := HomePage1998()
+	for i := 0; i < b.N; i++ {
+		FetchTime(link, page, 2*time.Millisecond, 1.2)
+	}
+}
+
+func TestMeasureSamplesSpread(t *testing.T) {
+	site := SiteProfile{Name: "s", Page: HomePage1998(), ServerTime: 2 * time.Millisecond, PathCongestion: 1.2}
+	m := MeasureSamples(Modem288(), site, 200, 0.15, 7)
+	if m.Samples != 200 {
+		t.Fatalf("samples = %d", m.Samples)
+	}
+	if m.StdDev <= 0 {
+		t.Fatal("no spread with jitter enabled")
+	}
+	if m.Min > m.MeanResponse || m.Max < m.MeanResponse {
+		t.Fatalf("mean %.2f outside [%.2f, %.2f]", m.MeanResponse, m.Min, m.Max)
+	}
+	// Deterministic for a seed.
+	m2 := MeasureSamples(Modem288(), site, 200, 0.15, 7)
+	if m.MeanResponse != m2.MeanResponse || m.StdDev != m2.StdDev {
+		t.Fatal("non-deterministic sampling")
+	}
+	// Zero jitter collapses the spread.
+	m3 := MeasureSamples(Modem288(), site, 50, 0, 7)
+	if m3.StdDev != 0 {
+		t.Fatalf("stddev = %v with zero jitter", m3.StdDev)
+	}
+	// Degenerate n.
+	m4 := MeasureSamples(Modem288(), site, 0, 0.1, 7)
+	if m4.Samples != 1 {
+		t.Fatalf("n clamp failed: %d", m4.Samples)
+	}
+}

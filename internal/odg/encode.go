@@ -1,0 +1,133 @@
+package odg
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// wireGraph is the serialized form: vertices with kinds, and edges with
+// weights, both sorted for stable output.
+type wireGraph struct {
+	Nodes []wireNode `json:"nodes"`
+	Edges []wireEdge `json:"edges"`
+}
+
+type wireNode struct {
+	ID   NodeID `json:"id"`
+	Kind string `json:"kind"`
+}
+
+type wireEdge struct {
+	From   NodeID  `json:"from"`
+	To     NodeID  `json:"to"`
+	Weight float64 `json:"weight"`
+}
+
+// Encode writes the graph as JSON. The output is deterministic (sorted), so
+// it diffs and hashes stably — a trigger monitor can checkpoint the ODG and
+// recover it after a restart instead of waiting for every page to re-render
+// and re-register.
+func (g *Graph) Encode(w io.Writer) error {
+	g.mu.RLock()
+	wire := wireGraph{}
+	for id, n := range g.nodes {
+		wire.Nodes = append(wire.Nodes, wireNode{ID: id, Kind: n.kind.String()})
+		for to, weight := range n.out {
+			wire.Edges = append(wire.Edges, wireEdge{From: id, To: to, Weight: weight})
+		}
+	}
+	g.mu.RUnlock()
+	sort.Slice(wire.Nodes, func(i, j int) bool { return wire.Nodes[i].ID < wire.Nodes[j].ID })
+	sort.Slice(wire.Edges, func(i, j int) bool {
+		if wire.Edges[i].From != wire.Edges[j].From {
+			return wire.Edges[i].From < wire.Edges[j].From
+		}
+		return wire.Edges[i].To < wire.Edges[j].To
+	})
+	enc := json.NewEncoder(w)
+	return enc.Encode(wire)
+}
+
+// Decode reads a graph written by Encode into a new Graph.
+func Decode(r io.Reader) (*Graph, error) {
+	var wire wireGraph
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&wire); err != nil {
+		return nil, fmt.Errorf("odg: decode: %w", err)
+	}
+	g := New()
+	for _, n := range wire.Nodes {
+		var k Kind
+		switch n.Kind {
+		case "underlying":
+			k = KindUnderlying
+		case "object":
+			k = KindObject
+		case "both":
+			k = KindBoth
+		default:
+			return nil, fmt.Errorf("odg: decode: unknown kind %q for %q", n.Kind, n.ID)
+		}
+		g.AddNode(n.ID, k)
+	}
+	for _, e := range wire.Edges {
+		if err := g.AddWeightedEdge(e.From, e.To, e.Weight); err != nil {
+			return nil, fmt.Errorf("odg: decode edge %v->%v: %w", e.From, e.To, err)
+		}
+	}
+	return g, nil
+}
+
+// Dot renders the graph in Graphviz dot syntax for visual inspection:
+// underlying data as boxes, objects as ellipses, both-kind vertices as
+// double ellipses, with edge weights labeled when not DefaultWeight.
+// Output is deterministic.
+func (g *Graph) Dot(w io.Writer, name string) error {
+	g.mu.RLock()
+	ids := make([]NodeID, 0, len(g.nodes))
+	for id := range g.nodes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	if _, err := fmt.Fprintf(w, "digraph %q {\n  rankdir=LR;\n", name); err != nil {
+		g.mu.RUnlock()
+		return err
+	}
+	for _, id := range ids {
+		shape := "ellipse"
+		switch g.nodes[id].kind {
+		case KindUnderlying:
+			shape = "box"
+		case KindBoth:
+			shape = "doublecircle"
+		}
+		if _, err := fmt.Fprintf(w, "  %q [shape=%s];\n", id, shape); err != nil {
+			g.mu.RUnlock()
+			return err
+		}
+	}
+	for _, id := range ids {
+		outs := make([]NodeID, 0, len(g.nodes[id].out))
+		for to := range g.nodes[id].out {
+			outs = append(outs, to)
+		}
+		sort.Slice(outs, func(i, j int) bool { return outs[i] < outs[j] })
+		for _, to := range outs {
+			weight := g.nodes[id].out[to]
+			if weight != DefaultWeight {
+				if _, err := fmt.Fprintf(w, "  %q -> %q [label=\"%g\"];\n", id, to, weight); err != nil {
+					g.mu.RUnlock()
+					return err
+				}
+			} else if _, err := fmt.Fprintf(w, "  %q -> %q;\n", id, to); err != nil {
+				g.mu.RUnlock()
+				return err
+			}
+		}
+	}
+	g.mu.RUnlock()
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

@@ -1,0 +1,127 @@
+package odg
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	g := paperFig1(t)
+	var buf bytes.Buffer
+	if err := g.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumNodes() != g.NumNodes() || got.NumEdges() != g.NumEdges() {
+		t.Fatalf("decoded %d/%d, want %d/%d", got.NumNodes(), got.NumEdges(), g.NumNodes(), g.NumEdges())
+	}
+	if w, ok := got.EdgeWeight("go1", "go5"); !ok || w != 5 {
+		t.Fatalf("weight lost: %v %v", w, ok)
+	}
+	if k, _ := got.NodeKind("go5"); k != KindBoth {
+		t.Fatalf("kind lost: %v", k)
+	}
+	if !reflect.DeepEqual(got.Affected("go2"), g.Affected("go2")) {
+		t.Fatal("propagation differs after round trip")
+	}
+	if got.IsSimple() != g.IsSimple() {
+		t.Fatal("simplicity differs after round trip")
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	g := paperFig1(t)
+	var a, b bytes.Buffer
+	if err := g.Encode(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Encode(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("non-deterministic encoding")
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode(strings.NewReader("{nope")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := Decode(strings.NewReader(`{"nodes":[{"id":"x","kind":"alien"}]}`)); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	if _, err := Decode(strings.NewReader(`{"edges":[{"from":"a","to":"b","weight":-1}]}`)); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+}
+
+// Property: round-tripping any random graph preserves node count, edge
+// count, simplicity, and the affected set of every vertex.
+func TestEncodeRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g := buildRandom(rand.New(rand.NewSource(seed)), 120)
+		var buf bytes.Buffer
+		if err := g.Encode(&buf); err != nil {
+			return false
+		}
+		got, err := Decode(&buf)
+		if err != nil {
+			return false
+		}
+		if got.NumNodes() != g.NumNodes() || got.NumEdges() != g.NumEdges() || got.IsSimple() != g.IsSimple() {
+			return false
+		}
+		for _, id := range g.Underlying() {
+			if !reflect.DeepEqual(got.Affected(id), g.Affected(id)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDotOutput(t *testing.T) {
+	g := New()
+	g.AddNode("both", KindBoth)
+	if err := g.AddWeightedEdge("data", "both", 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge("both", "page"); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := g.Dot(&buf, "odg"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`digraph "odg"`,
+		`"data" [shape=box]`,
+		`"page" [shape=ellipse]`,
+		`"both" [shape=doublecircle]`,
+		`"data" -> "both" [label="5"]`,
+		`"both" -> "page";`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dot output missing %q:\n%s", want, out)
+		}
+	}
+	// Deterministic.
+	var buf2 bytes.Buffer
+	if err := g.Dot(&buf2, "odg"); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != buf2.String() {
+		t.Fatal("non-deterministic dot output")
+	}
+}

@@ -1,0 +1,43 @@
+package odg
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzDecode asserts the graph decoder never panics, and that any graph it
+// accepts re-encodes and re-decodes to the same shape.
+func FuzzDecode(f *testing.F) {
+	g := New()
+	g.AddNode("o", KindObject)
+	_ = g.AddWeightedEdge("u", "o", 2)
+	var seed bytes.Buffer
+	if err := g.Encode(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.String())
+	f.Add(`{"nodes":[],"edges":[]}`)
+	f.Add(`{"nodes":[{"id":"a","kind":"object"}]}`)
+	f.Add(`{`)
+	f.Add(`{"edges":[{"from":"a","to":"b","weight":0}]}`)
+	f.Fuzz(func(t *testing.T, data string) {
+		g1, err := Decode(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := g1.Encode(&buf); err != nil {
+			t.Fatalf("accepted graph failed to encode: %v", err)
+		}
+		g2, err := Decode(&buf)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if g1.NumNodes() != g2.NumNodes() || g1.NumEdges() != g2.NumEdges() || g1.IsSimple() != g2.IsSimple() {
+			t.Fatalf("round trip changed shape: %d/%d/%v vs %d/%d/%v",
+				g1.NumNodes(), g1.NumEdges(), g1.IsSimple(),
+				g2.NumNodes(), g2.NumEdges(), g2.IsSimple())
+		}
+	})
+}

@@ -1,0 +1,351 @@
+// Package routing implements MSIRP — Multiple Single IP Routing — the
+// wide-area traffic-distribution scheme of section 4.1 of the paper.
+//
+// The production site advertised twelve "SIPR" addresses, all resolving to
+// www.nagano.olympic.org. Round-robin DNS cycled browsers through the
+// twelve addresses; every complex advertised routes for all twelve into the
+// OSPF backbone with costs reflecting primary/secondary ownership, and
+// standard least-cost IP routing then delivered each request to the nearest
+// complex advertising its address. Because ownership was spread across the
+// addresses, operators could shift traffic between complexes in 1/12 =
+// 8 1/3 % increments just by changing advertised costs — and a complex that
+// stopped advertising (or failed) simply disappeared from the route table,
+// with its traffic flowing to the next-cheapest advertiser. That is the top
+// layer of "elegant degradation".
+//
+// The Router models exactly that: a route table of (address -> cost
+// advertisements per complex), a geographic distance matrix standing in for
+// backbone hop costs, round-robin DNS, and failover to the next-cheapest
+// advertiser when a complex cannot answer.
+package routing
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"dupserve/internal/cache"
+	"dupserve/internal/dispatch"
+	"dupserve/internal/httpserver"
+	"dupserve/internal/stats"
+)
+
+// Address is one of the virtual SIPR addresses (0..NumAddresses-1).
+type Address int
+
+// NumAddresses is the paper's address count: twelve, giving 8 1/3 %
+// shifting granularity.
+const NumAddresses = 12
+
+// Region identifies where a client enters the network (Figure 23 uses
+// continent-scale regions).
+type Region string
+
+// Common regions used by the workload model.
+const (
+	RegionUS     Region = "us"
+	RegionJapan  Region = "japan"
+	RegionEurope Region = "europe"
+	RegionAsia   Region = "asia" // non-Japan Asia/Pacific
+	RegionOther  Region = "other"
+)
+
+// ErrNoRoute is returned when no complex advertises the address (or all
+// advertisers failed).
+var ErrNoRoute = errors.New("routing: no advertised route")
+
+// ErrUnknownComplex is returned when advertising for an unregistered
+// complex.
+var ErrUnknownComplex = errors.New("routing: unknown complex")
+
+type complexEntry struct {
+	name     string
+	node     dispatch.Node
+	distance map[Region]int // backbone cost from each region
+	up       bool
+}
+
+type advert struct {
+	complexName string
+	cost        int
+}
+
+// Router is the MSIRP model. Safe for concurrent use.
+type Router struct {
+	numAddrs int
+
+	mu        sync.Mutex
+	complexes map[string]*complexEntry
+	// routes[addr] lists advertisements for the address.
+	routes []([]advert)
+	dnsRR  int
+
+	requests  stats.Counter
+	reroutes  stats.Counter
+	rejected  stats.Counter
+	byComplex sync.Map // string -> *stats.Counter
+	byRegion  sync.Map // Region -> *stats.Counter
+}
+
+// NewRouter returns a router with the given number of SIPR addresses
+// (use NumAddresses for the paper's configuration).
+func NewRouter(numAddrs int) *Router {
+	if numAddrs <= 0 {
+		numAddrs = NumAddresses
+	}
+	return &Router{
+		numAddrs:  numAddrs,
+		complexes: make(map[string]*complexEntry),
+		routes:    make([][]advert, numAddrs),
+	}
+}
+
+// NumAddrs returns the number of SIPR addresses.
+func (r *Router) NumAddrs() int { return r.numAddrs }
+
+// AddComplex registers a serving complex (typically a dispatch.Dispatcher)
+// with its backbone distance from each client region. Regions absent from
+// the map are treated as very distant.
+func (r *Router) AddComplex(name string, node dispatch.Node, distance map[Region]int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	d := make(map[Region]int, len(distance))
+	for k, v := range distance {
+		d[k] = v
+	}
+	r.complexes[name] = &complexEntry{name: name, node: node, distance: d, up: true}
+}
+
+// Advertise installs (or updates) complex's route for addr at the given
+// OSPF cost. Lower cost wins.
+func (r *Router) Advertise(complexName string, addr Address, cost int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.complexes[complexName]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownComplex, complexName)
+	}
+	if int(addr) < 0 || int(addr) >= r.numAddrs {
+		return fmt.Errorf("routing: address %d out of range [0,%d)", addr, r.numAddrs)
+	}
+	list := r.routes[addr]
+	for i := range list {
+		if list[i].complexName == complexName {
+			list[i].cost = cost
+			return nil
+		}
+	}
+	r.routes[addr] = append(list, advert{complexName: complexName, cost: cost})
+	return nil
+}
+
+// Withdraw removes complex's advertisement for addr. Withdrawing an absent
+// advertisement is a no-op.
+func (r *Router) Withdraw(complexName string, addr Address) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if int(addr) < 0 || int(addr) >= r.numAddrs {
+		return
+	}
+	list := r.routes[addr]
+	for i := range list {
+		if list[i].complexName == complexName {
+			r.routes[addr] = append(list[:i], list[i+1:]...)
+			return
+		}
+	}
+}
+
+// WithdrawAll removes every advertisement by the complex — what happens
+// when a site stops advertising to move its traffic elsewhere.
+func (r *Router) WithdrawAll(complexName string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for a := range r.routes {
+		list := r.routes[a]
+		for i := 0; i < len(list); {
+			if list[i].complexName == complexName {
+				list = append(list[:i], list[i+1:]...)
+			} else {
+				i++
+			}
+		}
+		r.routes[a] = list
+	}
+}
+
+// SetComplexUp marks a complex reachable or failed. A failed complex keeps
+// its advertisements (routers haven't converged yet) but Route skips it,
+// modeling the OSPF withdrawal that follows an outage.
+func (r *Router) SetComplexUp(complexName string, up bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.complexes[complexName]; ok {
+		c.up = up
+	}
+}
+
+// AdvertiseSpread installs the paper's standard configuration: every
+// complex advertises every address; each address has exactly one primary
+// complex (cost primaryCost) assigned round-robin across the complexes in
+// the given order, with all other complexes advertising it at
+// secondaryCost. With 4 complexes and 12 addresses each complex is primary
+// for 3 addresses — the paper's layout.
+func (r *Router) AdvertiseSpread(order []string, primaryCost, secondaryCost int) error {
+	for a := 0; a < r.numAddrs; a++ {
+		for i, name := range order {
+			cost := secondaryCost
+			if a%len(order) == i {
+				cost = primaryCost
+			}
+			if err := r.Advertise(name, Address(a), cost); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Resolve performs one round-robin DNS resolution, returning the next SIPR
+// address.
+func (r *Router) Resolve() Address {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	a := Address(r.dnsRR % r.numAddrs)
+	r.dnsRR++
+	return a
+}
+
+// Route returns the complexes advertising addr ordered by effective cost
+// (advertised OSPF cost + backbone distance from region), skipping failed
+// complexes. The first entry is where standard IP routing would deliver
+// the packet.
+func (r *Router) Route(region Region, addr Address) []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if int(addr) < 0 || int(addr) >= r.numAddrs {
+		return nil
+	}
+	type scored struct {
+		name string
+		cost int
+	}
+	var list []scored
+	for _, ad := range r.routes[addr] {
+		c := r.complexes[ad.complexName]
+		if c == nil || !c.up {
+			continue
+		}
+		dist, ok := c.distance[region]
+		if !ok {
+			dist = 1 << 20
+		}
+		list = append(list, scored{name: ad.complexName, cost: ad.cost + dist})
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].cost != list[j].cost {
+			return list[i].cost < list[j].cost
+		}
+		return list[i].name < list[j].name
+	})
+	out := make([]string, len(list))
+	for i, s := range list {
+		out[i] = s.name
+	}
+	return out
+}
+
+// Request performs a full client interaction: RR-DNS resolution, least-cost
+// routing from the client's region, and serving with failover to the
+// next-cheapest complex if the chosen one cannot answer. It returns the
+// object, the outcome, and the complex that finally served.
+func (r *Router) Request(region Region, path string) (*cache.Object, httpserver.Outcome, string, error) {
+	r.requests.Inc()
+	r.counter(&r.byRegion, region).Inc()
+	addr := r.Resolve()
+	return r.RequestVia(region, addr, path)
+}
+
+// RequestVia is Request with an explicit resolved address (the simulator
+// controls DNS itself to keep runs deterministic).
+func (r *Router) RequestVia(region Region, addr Address, path string) (*cache.Object, httpserver.Outcome, string, error) {
+	order := r.Route(region, addr)
+	if len(order) == 0 {
+		r.rejected.Inc()
+		return nil, httpserver.OutcomeError, "", fmt.Errorf("%w: addr %d from %s", ErrNoRoute, addr, region)
+	}
+	for i, name := range order {
+		r.mu.Lock()
+		c := r.complexes[name]
+		r.mu.Unlock()
+		if c == nil {
+			continue
+		}
+		obj, outcome, err := c.node.Serve(path)
+		if outcome == httpserver.OutcomeError && err != nil {
+			// Complex-level failure: mark it down and reroute.
+			r.SetComplexUp(name, false)
+			r.reroutes.Inc()
+			if i < len(order)-1 {
+				continue
+			}
+			r.rejected.Inc()
+			return nil, outcome, name, err
+		}
+		r.counter(&r.byComplex, name).Inc()
+		return obj, outcome, name, err
+	}
+	r.rejected.Inc()
+	return nil, httpserver.OutcomeError, "", fmt.Errorf("%w: all advertisers failed", ErrNoRoute)
+}
+
+func (r *Router) counter(m *sync.Map, key any) *stats.Counter {
+	if c, ok := m.Load(key); ok {
+		return c.(*stats.Counter)
+	}
+	c, _ := m.LoadOrStore(key, &stats.Counter{})
+	return c.(*stats.Counter)
+}
+
+// RouterStats snapshots router counters.
+type RouterStats struct {
+	Requests  int64
+	Reroutes  int64
+	Rejected  int64
+	ByComplex map[string]int64
+	ByRegion  map[Region]int64
+}
+
+// Stats returns a snapshot of routing counters.
+func (r *Router) Stats() RouterStats {
+	st := RouterStats{
+		Requests:  r.requests.Value(),
+		Reroutes:  r.reroutes.Value(),
+		Rejected:  r.rejected.Value(),
+		ByComplex: make(map[string]int64),
+		ByRegion:  make(map[Region]int64),
+	}
+	r.byComplex.Range(func(k, v any) bool {
+		st.ByComplex[k.(string)] = v.(*stats.Counter).Value()
+		return true
+	})
+	r.byRegion.Range(func(k, v any) bool {
+		st.ByRegion[k.(Region)] = v.(*stats.Counter).Value()
+		return true
+	})
+	return st
+}
+
+// PrimaryShare returns the fraction of addresses for which the complex is
+// currently the cheapest advertiser from the given region — the share of
+// that region's traffic it will receive under pure RR-DNS.
+func (r *Router) PrimaryShare(region Region, complexName string) float64 {
+	n := 0
+	for a := 0; a < r.numAddrs; a++ {
+		order := r.Route(region, Address(a))
+		if len(order) > 0 && order[0] == complexName {
+			n++
+		}
+	}
+	return float64(n) / float64(r.numAddrs)
+}

@@ -1,0 +1,303 @@
+package trigger
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"dupserve/internal/cache"
+	"dupserve/internal/core"
+	"dupserve/internal/db"
+	"dupserve/internal/odg"
+)
+
+// harness wires db -> monitor -> engine -> cache with a generator that
+// renders row contents, so tests observe end-to-end freshness.
+type harness struct {
+	db      *db.DB
+	cache   *cache.Cache
+	engine  *core.Engine
+	monitor *Monitor
+	renders *sync.Map // key -> count
+}
+
+func newHarness(t *testing.T, opts ...Option) *harness {
+	t.Helper()
+	d := db.New("t")
+	d.CreateTable("results")
+	c := cache.New("t")
+	renders := &sync.Map{}
+	g := odg.New()
+	gen := func(key cache.Key, version int64) (*cache.Object, error) {
+		n, _ := renders.LoadOrStore(string(key), new(int))
+		*(n.(*int))++
+		row, ok, err := d.Get("results", string(key)[len("/page/"):])
+		if err != nil {
+			return nil, err
+		}
+		body := "gone"
+		if ok {
+			body = row.Cols["score"]
+		}
+		return &cache.Object{Key: key, Value: []byte(body), Version: version}, nil
+	}
+	e := core.NewEngine(g, core.SingleCache{C: c}, core.WithGenerator(gen))
+	h := &harness{db: d, cache: c, engine: e, renders: renders}
+	h.monitor = Start(d, e, opts...)
+	t.Cleanup(h.monitor.Stop)
+	return h
+}
+
+// registerPage declares /page/<row> depending on db:results:<row> and
+// primes the cache.
+func (h *harness) registerPage(t *testing.T, row string) {
+	t.Helper()
+	key := cache.Key("/page/" + row)
+	h.engine.RegisterObject(key, []odg.NodeID{odg.NodeID(db.RowID("results", row))})
+	h.cache.Put(&cache.Object{Key: key, Value: []byte("initial")})
+}
+
+func (h *harness) commit(t *testing.T, row, score string) {
+	t.Helper()
+	if _, err := h.db.Commit(h.db.NewTx().Put("results", row, map[string]string{"score": score})); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEndToEndUpdateInPlace(t *testing.T) {
+	h := newHarness(t, WithBatchWindow(0))
+	h.registerPage(t, "ev1")
+	h.commit(t, "ev1", "9.81")
+	h.monitor.Flush()
+	obj, ok := h.cache.Peek("/page/ev1")
+	if !ok {
+		t.Fatal("page missing from cache")
+	}
+	if string(obj.Value) != "9.81" {
+		t.Fatalf("page = %q, want fresh score", obj.Value)
+	}
+	if obj.Version != h.db.LSN() {
+		t.Fatalf("version = %d, want %d", obj.Version, h.db.LSN())
+	}
+}
+
+func TestUnrelatedChangeDoesNotTouchPage(t *testing.T) {
+	h := newHarness(t, WithBatchWindow(0))
+	h.registerPage(t, "ev1")
+	h.commit(t, "ev-other", "1")
+	h.monitor.Flush()
+	obj, _ := h.cache.Peek("/page/ev1")
+	if string(obj.Value) != "initial" {
+		t.Fatalf("unrelated change regenerated page: %q", obj.Value)
+	}
+	if n, ok := h.renders.Load("/page/ev1"); ok {
+		t.Fatalf("page rendered %d times for unrelated change", *(n.(*int)))
+	}
+}
+
+func TestBatchingCoalescesDuplicateRows(t *testing.T) {
+	// Ten rapid updates to the same row inside one batch window must cause
+	// exactly one regeneration (the batch dedupes changed vertices).
+	h := newHarness(t, WithBatchSize(100), WithBatchWindow(time.Hour))
+	h.registerPage(t, "ev1")
+	for i := 0; i < 10; i++ {
+		h.commit(t, "ev1", fmt.Sprintf("%d", i))
+	}
+	h.monitor.Flush()
+	n, ok := h.renders.Load("/page/ev1")
+	if !ok || *(n.(*int)) != 1 {
+		t.Fatalf("renders = %v, want exactly 1", n)
+	}
+	obj, _ := h.cache.Peek("/page/ev1")
+	if string(obj.Value) != "9" {
+		t.Fatalf("page = %q, want final score", obj.Value)
+	}
+	st := h.monitor.Stats()
+	if st.Batches != 1 || st.Transactions != 10 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestBatchSizeTriggersPropagation(t *testing.T) {
+	h := newHarness(t, WithBatchSize(3), WithBatchWindow(time.Hour))
+	h.registerPage(t, "ev1")
+	for i := 0; i < 3; i++ {
+		h.commit(t, "ev1", fmt.Sprintf("%d", i))
+	}
+	// No Flush: the size threshold alone must fire. Poll for effect.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if obj, ok := h.cache.Peek("/page/ev1"); ok && string(obj.Value) == "2" {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("batch-size propagation never fired")
+}
+
+func TestBatchWindowTriggersPropagation(t *testing.T) {
+	h := newHarness(t, WithBatchSize(1000), WithBatchWindow(10*time.Millisecond))
+	h.registerPage(t, "ev1")
+	h.commit(t, "ev1", "42")
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if obj, ok := h.cache.Peek("/page/ev1"); ok && string(obj.Value) == "42" {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("batch-window propagation never fired")
+}
+
+func TestStopDrainsPending(t *testing.T) {
+	h := newHarness(t, WithBatchSize(1000), WithBatchWindow(time.Hour))
+	h.registerPage(t, "ev1")
+	h.commit(t, "ev1", "7")
+	// Give the feed a moment to deliver, then stop: the final propagation
+	// on shutdown must apply the pending batch.
+	deadline := time.Now().Add(5 * time.Second)
+	for h.monitor.Stats().Transactions == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	h.monitor.Stop()
+	obj, _ := h.cache.Peek("/page/ev1")
+	if string(obj.Value) != "7" {
+		t.Fatalf("pending batch lost on Stop: %q", obj.Value)
+	}
+}
+
+func TestStopIdempotentAndFlushAfterStop(t *testing.T) {
+	h := newHarness(t)
+	h.monitor.Stop()
+	h.monitor.Stop()
+	h.monitor.Flush() // must not hang
+}
+
+func TestCustomIndexer(t *testing.T) {
+	var indexed []string
+	var mu sync.Mutex
+	ix := func(c db.Change) []odg.NodeID {
+		mu.Lock()
+		indexed = append(indexed, c.Key)
+		mu.Unlock()
+		return []odg.NodeID{odg.NodeID(c.ChangeID()), "extra:vertex"}
+	}
+	d := db.New("t")
+	d.CreateTable("results")
+	c := cache.New("t")
+	g := odg.New()
+	gen := func(key cache.Key, version int64) (*cache.Object, error) {
+		return &cache.Object{Key: key, Value: []byte("x"), Version: version}, nil
+	}
+	e := core.NewEngine(g, core.SingleCache{C: c}, core.WithGenerator(gen))
+	e.RegisterObject("/extra", []odg.NodeID{"extra:vertex"})
+	m := Start(d, e, WithBatchWindow(0), WithIndexer(ix))
+	defer m.Stop()
+	if _, err := d.Commit(d.NewTx().Put("results", "k", nil)); err != nil {
+		t.Fatal(err)
+	}
+	m.Flush()
+	if !c.Contains("/extra") {
+		t.Fatal("custom indexer vertex did not propagate")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(indexed) != 1 || indexed[0] != "k" {
+		t.Fatalf("indexed = %v", indexed)
+	}
+}
+
+func TestLatencyMeasured(t *testing.T) {
+	base := time.Date(1998, 2, 13, 0, 0, 0, 0, time.UTC)
+	var mu sync.Mutex
+	now := base
+	clock := func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now
+	}
+	d := db.New("t", db.WithClock(clock))
+	d.CreateTable("results")
+	c := cache.New("t")
+	g := odg.New()
+	gen := func(key cache.Key, version int64) (*cache.Object, error) {
+		return &cache.Object{Key: key, Value: []byte("x"), Version: version}, nil
+	}
+	e := core.NewEngine(g, core.SingleCache{C: c}, core.WithGenerator(gen))
+	m := Start(d, e, WithBatchWindow(0), WithClock(clock))
+	defer m.Stop()
+
+	if _, err := d.Commit(d.NewTx().Put("results", "k", nil)); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	now = base.Add(3 * time.Second) // propagation "takes" 3s of simulated time
+	mu.Unlock()
+	m.Flush()
+	st := m.Stats()
+	if st.LatencyMax < 2.9 || st.LatencyMax > 3.1 {
+		t.Fatalf("latency max = %v, want ~3s", st.LatencyMax)
+	}
+	// The paper's freshness bound: within 60 seconds.
+	if st.LatencyMax > 60 {
+		t.Fatal("freshness bound violated")
+	}
+}
+
+func TestLastLSNAdvances(t *testing.T) {
+	h := newHarness(t, WithBatchWindow(0))
+	h.registerPage(t, "ev1")
+	for i := 0; i < 5; i++ {
+		h.commit(t, "ev1", "s")
+	}
+	h.monitor.Flush()
+	if got := h.monitor.LastLSN(); got != 5 {
+		t.Fatalf("LastLSN = %d, want 5", got)
+	}
+}
+
+func TestManyPagesPerUpdate(t *testing.T) {
+	// A cross-country result update affecting 128 pages (paper, §3.1),
+	// flowing through the full trigger pipeline.
+	h := newHarness(t, WithBatchWindow(0))
+	key := func(i int) cache.Key { return cache.Key(fmt.Sprintf("/cc/p%d", i)) }
+	gen := odg.NodeID(db.RowID("results", "cc:ev1"))
+	for i := 0; i < 128; i++ {
+		h.engine.RegisterObject(key(i), []odg.NodeID{gen})
+	}
+	// Override generator pages aren't /page/-shaped; they'd fail the row
+	// parse. Re-register with a generator-agnostic row instead:
+	// the harness generator slices "/page/", so use register via harness.
+	// Simpler: commit the row and verify affected count via engine stats.
+	h.commit(t, "cc:ev1", "1")
+	h.monitor.Flush()
+	st := h.monitor.Stats()
+	if st.PagesUpdated+st.Invalidations < 128 {
+		t.Fatalf("pages touched = %d, want >= 128 (stats %+v)", st.PagesUpdated+st.Invalidations, st)
+	}
+}
+
+func TestConcurrentCommittersSingleMonitor(t *testing.T) {
+	h := newHarness(t, WithBatchSize(8), WithBatchWindow(5*time.Millisecond))
+	h.registerPage(t, "ev1")
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				h.commit(t, "ev1", fmt.Sprintf("%d-%d", w, i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	h.monitor.Flush()
+	st := h.monitor.Stats()
+	if st.Transactions != 100 {
+		t.Fatalf("transactions = %d, want 100", st.Transactions)
+	}
+	if h.monitor.LastLSN() != 100 {
+		t.Fatalf("LastLSN = %d, want 100", h.monitor.LastLSN())
+	}
+}

@@ -1,0 +1,47 @@
+package weblog
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// FuzzParseEntry asserts ParseEntry never panics and that anything it
+// accepts re-formats to something it accepts again (idempotent parse).
+func FuzzParseEntry(f *testing.F) {
+	f.Add(`10.1.2.3 - - [13/Feb/1998:12:00:00 +0000] "GET /en/home HTTP/1.0" 200 10240`)
+	f.Add(Entry{Client: "c", Time: time.Unix(0, 0).UTC(), Path: "/", Status: 200, Bytes: 0}.Format())
+	f.Add("")
+	f.Add(`x - - [] "" 0 0`)
+	f.Add(`a b [z] "GET  HTTP" 1 2 3`)
+	f.Fuzz(func(t *testing.T, line string) {
+		e, err := ParseEntry(line)
+		if err != nil {
+			return
+		}
+		// Accepted entries must survive a format/parse cycle when the path
+		// contains no whitespace or quotes (CLF cannot represent those).
+		if strings.ContainsAny(e.Path, " \t\"") || strings.ContainsAny(e.Client, " \t\"[") {
+			return
+		}
+		e2, err := ParseEntry(e.Format())
+		if err != nil {
+			t.Fatalf("reparse of accepted entry failed: %v (line %q)", err, line)
+		}
+		if e2.Path != e.Path || e2.Status != e.Status || e2.Bytes != e.Bytes {
+			t.Fatalf("parse not stable: %+v vs %+v", e, e2)
+		}
+	})
+}
+
+// FuzzAnalyze asserts the analyzer never panics or errors on arbitrary
+// input (malformed lines must be skipped, not fatal).
+func FuzzAnalyze(f *testing.F) {
+	f.Add("garbage\n" + Entry{Client: "c", Time: time.Now(), Path: "/p", Status: 200, Bytes: 1}.Format() + "\n")
+	f.Add("\n\n\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		if _, err := Analyze(strings.NewReader(data), 5); err != nil {
+			t.Fatalf("Analyze errored on arbitrary input: %v", err)
+		}
+	})
+}

@@ -1,0 +1,222 @@
+package weblog
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestFormatParseRoundTrip(t *testing.T) {
+	e := Entry{
+		Client: "10.9.8.7",
+		Time:   time.Date(1998, 2, 13, 12, 34, 56, 0, time.UTC),
+		Path:   "/en/home/day07",
+		Status: 200,
+		Bytes:  10240,
+	}
+	got, err := ParseEntry(e.Format())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Client != e.Client || got.Path != e.Path || got.Status != e.Status || got.Bytes != e.Bytes {
+		t.Fatalf("round trip = %+v", got)
+	}
+	if !got.Time.Equal(e.Time) {
+		t.Fatalf("time = %v, want %v", got.Time, e.Time)
+	}
+}
+
+func TestParseEntryMalformed(t *testing.T) {
+	for _, line := range []string{
+		"",
+		"justoneword",
+		`1.2.3.4 - - [bad time] "GET / HTTP/1.0" 200 1`,
+		`1.2.3.4 - - [13/Feb/1998:12:00:00 +0000] no quotes 200 1`,
+		`1.2.3.4 - - [13/Feb/1998:12:00:00 +0000] "GET" 200 1`,
+		`1.2.3.4 - - [13/Feb/1998:12:00:00 +0000] "GET / HTTP/1.0" x 1`,
+		`1.2.3.4 - - [13/Feb/1998:12:00:00 +0000] "GET / HTTP/1.0" 200 x`,
+		`1.2.3.4 - - [13/Feb/1998:12:00:00 +0000] "GET / HTTP/1.0" 200`,
+	} {
+		if _, err := ParseEntry(line); err == nil {
+			t.Fatalf("accepted malformed line %q", line)
+		}
+	}
+}
+
+func TestWriterConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.SetClock(func() time.Time { return time.Date(1998, 2, 13, 0, 0, 0, 0, time.UTC) })
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if err := w.Log(fmt.Sprintf("c%d", g), "/p", 200, 10); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 400 {
+		t.Fatalf("lines = %d, want 400", len(lines))
+	}
+	for _, l := range lines {
+		if _, err := ParseEntry(l); err != nil {
+			t.Fatalf("unparseable interleaved line %q: %v", l, err)
+		}
+	}
+}
+
+// buildLog writes a synthetic log: client A browses deep (4 hits), client B
+// is satisfied at the entry page, client C makes two visits separated by
+// more than the gap.
+func buildLog(t *testing.T) *bytes.Buffer {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	base := time.Date(1998, 2, 13, 10, 0, 0, 0, time.UTC)
+	now := base
+	w.SetClock(func() time.Time { return now })
+
+	for i, p := range []string{"/en/home/day07", "/en/sports", "/en/sports/alpine", "/en/sports/alpine/alpine:e1"} {
+		now = base.Add(time.Duration(i) * time.Minute)
+		if err := w.Log("clientA", p, 200, 1000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	now = base
+	if err := w.Log("clientB", "/en/home/day07", 200, 1000); err != nil {
+		t.Fatal(err)
+	}
+	now = base
+	if err := w.Log("clientC", "/en/news", 200, 500); err != nil {
+		t.Fatal(err)
+	}
+	now = base.Add(2 * time.Hour) // new visit
+	if err := w.Log("clientC", "/en/news/n001", 404, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return &buf
+}
+
+func TestAnalyzeReport(t *testing.T) {
+	rep, err := Analyze(buildLog(t), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Entries != 7 || rep.Clients != 3 {
+		t.Fatalf("entries=%d clients=%d", rep.Entries, rep.Clients)
+	}
+	if rep.Errors != 1 {
+		t.Fatalf("errors = %d (the 404)", rep.Errors)
+	}
+	if rep.Visits != 4 {
+		t.Fatalf("visits = %d, want 4 (A:1, B:1, C:2)", rep.Visits)
+	}
+	// Hits/visit = 7/4.
+	if rep.HitsPerVisit < 1.74 || rep.HitsPerVisit > 1.76 {
+		t.Fatalf("hits/visit = %v", rep.HitsPerVisit)
+	}
+	// Satisfied at entry: B's visit and both C visits = 3 of 4.
+	if rep.EntrySatisfied != 0.75 {
+		t.Fatalf("entry satisfied = %v", rep.EntrySatisfied)
+	}
+	if rep.BySection["/en/home"] != 2 || rep.BySection["/en/sports"] != 3 {
+		t.Fatalf("sections = %v", rep.BySection)
+	}
+	if len(rep.TopPages) != 3 || rep.TopPages[0].Hits < rep.TopPages[1].Hits {
+		t.Fatalf("top pages = %v", rep.TopPages)
+	}
+}
+
+func TestAnalyzeSkipsMalformed(t *testing.T) {
+	in := strings.NewReader("garbage line\n" +
+		Entry{Client: "c", Time: time.Now(), Path: "/p", Status: 200, Bytes: 1}.Format() + "\n")
+	rep, err := Analyze(in, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Entries != 1 || rep.Errors != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestSection(t *testing.T) {
+	cases := map[string]string{
+		"/en/sports/alpine/e1": "/en/sports",
+		"/en/home/day07":       "/en/home",
+		"/en":                  "/en",
+		"/":                    "/",
+	}
+	for in, want := range cases {
+		if got := section(in); got != want {
+			t.Fatalf("section(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// Property: any entry with printable fields round-trips through
+// Format/ParseEntry.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(client uint16, status uint8, size uint16, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := Entry{
+			Client: fmt.Sprintf("10.0.%d.%d", client>>8, client&0xff),
+			Time:   time.Date(1998, 2, 1+rng.Intn(16), rng.Intn(24), rng.Intn(60), rng.Intn(60), 0, time.UTC),
+			Path:   fmt.Sprintf("/en/p%d", rng.Intn(1000)),
+			Status: 200 + int(status)%400,
+			Bytes:  int(size),
+		}
+		got, err := ParseEntry(e.Format())
+		return err == nil && got.Client == e.Client && got.Path == e.Path &&
+			got.Status == e.Status && got.Bytes == e.Bytes && got.Time.Equal(e.Time)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkParseEntry(b *testing.B) {
+	line := Entry{Client: "10.1.2.3", Time: time.Now(), Path: "/en/home/day07", Status: 200, Bytes: 10240}.Format()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseEntry(line); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAnalyze10k(b *testing.B) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	base := time.Date(1998, 2, 13, 0, 0, 0, 0, time.UTC)
+	i := 0
+	w.SetClock(func() time.Time { i++; return base.Add(time.Duration(i) * time.Second) })
+	for j := 0; j < 10000; j++ {
+		w.Log(fmt.Sprintf("c%d", j%200), fmt.Sprintf("/en/p%d", j%500), 200, 1000)
+	}
+	w.Flush()
+	data := buf.Bytes()
+	b.ResetTimer()
+	for k := 0; k < b.N; k++ {
+		if _, err := Analyze(bytes.NewReader(data), 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

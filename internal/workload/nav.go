@@ -1,0 +1,85 @@
+package workload
+
+// Design identifies a site structure for the navigation model.
+type Design int
+
+const (
+	// Design1996 is the Atlanta hierarchy (Figure 7): home -> section ->
+	// subsection -> leaf, no cross-links, no country/athlete collation.
+	Design1996 Design = iota
+	// Design1998 is the Nagano structure (Figure 11): per-day home pages
+	// that carry the most-wanted information, plus cross-links between
+	// results, athletes and countries.
+	Design1998
+)
+
+// String names the design.
+func (d Design) String() string {
+	if d == Design1996 {
+		return "1996-hierarchy"
+	}
+	return "1998-day-home"
+}
+
+// NavConfig parameterizes the navigation model: how many pieces of
+// information a visit seeks and what each piece costs to reach under each
+// structure.
+type NavConfig struct {
+	// PiecesPerVisit is the mean number of distinct facts (a result, a
+	// medal count, an athlete's standing) a visitor wants.
+	PiecesPerVisit float64
+	// Depth1996 is the hits to descend the 1996 hierarchy to one leaf
+	// (home, section index, sub-index, leaf = 4; fractional values model
+	// mixed-depth content).
+	Depth1996 float64
+	// Misnav1996 is the extra hits per piece from wrong turns — the log
+	// finding that "most users were spending too much time looking for
+	// basic information".
+	Misnav1996 float64
+	// HomeSatisfied is the fraction of visits whose first piece is on the
+	// current day's home page (the paper: over 25%).
+	HomeSatisfied float64
+	// FirstCost1998 is the hits for a first piece not on the home page.
+	FirstCost1998 float64
+	// CrossLinkCost is the hits for each additional piece in 1998, where
+	// every leaf links to pertinent pages in other sections.
+	CrossLinkCost float64
+}
+
+// DefaultNavConfig returns parameters calibrated to the paper's estimate:
+// the 1996 design with 1998 content would have drawn over 200M hits on the
+// peak day versus the 56.8M observed — a ratio just over 3.5x.
+func DefaultNavConfig() NavConfig {
+	return NavConfig{
+		PiecesPerVisit: 2.0,
+		Depth1996:      4.5,
+		Misnav1996:     0.5,
+		HomeSatisfied:  0.25,
+		FirstCost1998:  2.2,
+		CrossLinkCost:  0.95,
+	}
+}
+
+// HitsPerVisit returns the expected page fetches per visit under the given
+// design.
+func (c NavConfig) HitsPerVisit(d Design) float64 {
+	switch d {
+	case Design1996:
+		// No collation and no cross-links: every piece is a fresh descent.
+		return c.PiecesPerVisit * (c.Depth1996 + c.Misnav1996)
+	default:
+		first := c.HomeSatisfied*1 + (1-c.HomeSatisfied)*c.FirstCost1998
+		rest := (c.PiecesPerVisit - 1) * c.CrossLinkCost
+		if rest < 0 {
+			rest = 0
+		}
+		return first + rest
+	}
+}
+
+// ProjectedDailyHits scales a 1998-design observed day to what the 1996
+// design would have drawn for the same visitor demand.
+func (c NavConfig) ProjectedDailyHits(observed1998 int64) int64 {
+	ratio := c.HitsPerVisit(Design1996) / c.HitsPerVisit(Design1998)
+	return int64(float64(observed1998) * ratio)
+}

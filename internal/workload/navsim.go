@@ -1,0 +1,189 @@
+package workload
+
+import (
+	"math/rand"
+)
+
+// GoalKind is what a visitor came to learn.
+type GoalKind int
+
+const (
+	// GoalResult: the outcome of a specific event.
+	GoalResult GoalKind = iota
+	// GoalMedals: a country's medal tally. In 1996 this information was
+	// not collated — "results corresponding to a particular country or
+	// athlete could not be collated. Many users ... felt that this was a
+	// limitation" — so a 1996 visitor had to tally event pages by hand.
+	GoalMedals
+	// GoalNews: the current top story.
+	GoalNews
+)
+
+// NavSimConfig parameterizes the navigation Monte Carlo. The structural
+// constants encode the two page organizations (figures 7 and 11); the
+// behavioural constants (misnavigation, goals per visit) encode the log
+// findings.
+type NavSimConfig struct {
+	// GoalsPerVisitMean is the mean of the (geometric) number of facts a
+	// visitor wants.
+	GoalsPerVisitMean float64
+	// MisnavProb is the chance of a wrong turn during a hierarchy descent,
+	// costing a backtrack (2 extra hits).
+	MisnavProb float64
+	// EventsPerTally is how many event pages a 1996 visitor checks to
+	// assemble a country's medal standing by hand.
+	EventsPerTally int
+	// HomeSatisfiedProb is the chance a 1998 result/news goal is answered
+	// directly by the current day's home page.
+	HomeSatisfiedProb float64
+	// GoalMix is the probability of each goal kind, indexed by GoalKind;
+	// must sum to 1.
+	GoalMix [3]float64
+}
+
+// DefaultNavSimConfig matches the paper's observations: ≥25% of visitors
+// satisfied at the home page, a hierarchy at least 3 requests deep to any
+// 1996 result, and enough hand-tallying to produce the >3x hit inflation
+// the team projected for the 1996 design.
+func DefaultNavSimConfig() NavSimConfig {
+	return NavSimConfig{
+		GoalsPerVisitMean: 2.0,
+		MisnavProb:        0.2,
+		EventsPerTally:    3,
+		HomeSatisfiedProb: 0.28,
+		GoalMix:           [3]float64{0.55, 0.25, 0.20},
+	}
+}
+
+// NavStats summarizes simulated visits under one design.
+type NavStats struct {
+	Visits       int
+	TotalHits    int
+	MeanHits     float64
+	SingleHit    float64 // share of visits satisfied by one fetch
+	MaxHits      int
+	LeafReached  int // goals resolved at a leaf page
+	HandTallies  int // 1996-only: goals resolved by tallying event pages
+	HomeAnswered int // 1998-only: goals answered on the home page
+}
+
+// SimulateVisits runs n visits against the given design and returns the
+// aggregate. Deterministic for a given rng state.
+func (c NavSimConfig) SimulateVisits(d Design, n int, rng *rand.Rand) NavStats {
+	st := NavStats{Visits: n}
+	for v := 0; v < n; v++ {
+		hits := c.simulateVisit(d, rng, &st)
+		st.TotalHits += hits
+		if hits == 1 {
+			st.SingleHit++
+		}
+		if hits > st.MaxHits {
+			st.MaxHits = hits
+		}
+	}
+	if n > 0 {
+		st.MeanHits = float64(st.TotalHits) / float64(n)
+		st.SingleHit /= float64(n)
+	}
+	return st
+}
+
+// simulateVisit walks one user session and returns its page fetches.
+func (c NavSimConfig) simulateVisit(d Design, rng *rand.Rand, st *NavStats) int {
+	goals := 1
+	for rng.Float64() < 1-1/c.GoalsPerVisitMean {
+		goals++
+		if goals >= 8 {
+			break
+		}
+	}
+	hits := 0
+	for g := 0; g < goals; g++ {
+		kind := c.sampleGoal(rng)
+		first := g == 0
+		switch d {
+		case Design1996:
+			hits += c.hits1996(kind, first, rng, st)
+		default:
+			hits += c.hits1998(kind, first, rng, st)
+		}
+	}
+	return hits
+}
+
+func (c NavSimConfig) sampleGoal(rng *rand.Rand) GoalKind {
+	x := rng.Float64()
+	for k, p := range c.GoalMix {
+		x -= p
+		if x < 0 {
+			return GoalKind(k)
+		}
+	}
+	return GoalNews
+}
+
+// descend1996 walks home -> section index -> subsection -> leaf, with
+// misnavigation backtracks. The entry hit (home) is charged only for the
+// first goal of the visit; the 1996 hierarchy has no cross-links ("when a
+// client reached a leaf page, there were no direct links to pertinent
+// information in other sections"), so every later goal re-descends from
+// the top but the home page itself is cached by the browser.
+func (c NavSimConfig) descend1996(first bool, rng *rand.Rand) int {
+	hits := 3 // section index, subsection, leaf
+	if first {
+		hits++ // the home page itself
+	}
+	for level := 0; level < 3; level++ {
+		if rng.Float64() < c.MisnavProb {
+			hits += 2 // wrong branch and back
+		}
+	}
+	return hits
+}
+
+func (c NavSimConfig) hits1996(kind GoalKind, first bool, rng *rand.Rand, st *NavStats) int {
+	switch kind {
+	case GoalMedals:
+		// No country collation: descend once, then tally event leaves.
+		st.HandTallies++
+		hits := c.descend1996(first, rng)
+		for i := 1; i < c.EventsPerTally; i++ {
+			// Each further event requires climbing back and descending
+			// within the sport section: ~2 hits.
+			hits += 2
+		}
+		return hits
+	default:
+		st.LeafReached++
+		return c.descend1996(first, rng)
+	}
+}
+
+func (c NavSimConfig) hits1998(kind GoalKind, first bool, rng *rand.Rand, st *NavStats) int {
+	// The day's home page carries recent results, medal standings and top
+	// stories; country/athlete pages collate; leaves cross-link.
+	if first {
+		if rng.Float64() < c.HomeSatisfiedProb {
+			st.HomeAnswered++
+			return 1 // answered on the home page itself
+		}
+		switch kind {
+		case GoalMedals:
+			st.LeafReached++
+			return 2 // home -> country page (collated)
+		default:
+			st.LeafReached++
+			// home -> section or event page; deep events one more hop.
+			if rng.Float64() < 0.4 {
+				return 3
+			}
+			return 2
+		}
+	}
+	// Subsequent goals ride cross-links from the current leaf.
+	st.LeafReached++
+	if rng.Float64() < 0.3 {
+		return 2
+	}
+	return 1
+}

@@ -1,0 +1,110 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNavSimRatioMatchesPaperProjection(t *testing.T) {
+	cfg := DefaultNavSimConfig()
+	rng := rand.New(rand.NewSource(98))
+	s96 := cfg.SimulateVisits(Design1996, 50_000, rng)
+	s98 := cfg.SimulateVisits(Design1998, 50_000, rng)
+	ratio := s96.MeanHits / s98.MeanHits
+	// The paper projected >200M hits/day under the 1996 design vs 56.8M
+	// observed — "over three times".
+	if ratio < 3.0 || ratio > 4.5 {
+		t.Fatalf("hits ratio = %.2f (96: %.2f, 98: %.2f), want 3-4.5", ratio, s96.MeanHits, s98.MeanHits)
+	}
+}
+
+func TestNavSim1998HomeSatisfaction(t *testing.T) {
+	cfg := DefaultNavSimConfig()
+	rng := rand.New(rand.NewSource(7))
+	s98 := cfg.SimulateVisits(Design1998, 50_000, rng)
+	// "over 25% of the users found the information they were looking for
+	// by examining the home page for the current day". Single-hit visits
+	// are the strict subset of those with exactly one goal; HomeAnswered
+	// counts all goals answered at home.
+	homeShare := float64(s98.HomeAnswered) / float64(s98.Visits)
+	if homeShare < 0.25 {
+		t.Fatalf("home-answered share = %.3f, want >= 0.25", homeShare)
+	}
+	if s98.SingleHit <= 0 {
+		t.Fatal("no single-hit visits at all")
+	}
+}
+
+func TestNavSim1996DepthAtLeastThree(t *testing.T) {
+	// "At least three Web server requests were needed to navigate to a
+	// result page."
+	cfg := DefaultNavSimConfig()
+	cfg.GoalsPerVisitMean = 1
+	cfg.MisnavProb = 0
+	cfg.GoalMix = [3]float64{1, 0, 0} // results only
+	rng := rand.New(rand.NewSource(1))
+	s96 := cfg.SimulateVisits(Design1996, 1_000, rng)
+	if s96.MeanHits < 3 {
+		t.Fatalf("1996 result goal costs %.2f hits, want >= 3", s96.MeanHits)
+	}
+	if s96.SingleHit != 0 {
+		t.Fatal("1996 hierarchy cannot satisfy at the home page")
+	}
+}
+
+func TestNavSimHandTalliesOnlyIn1996(t *testing.T) {
+	cfg := DefaultNavSimConfig()
+	cfg.GoalMix = [3]float64{0, 1, 0} // medal goals only
+	rng := rand.New(rand.NewSource(2))
+	s96 := cfg.SimulateVisits(Design1996, 5_000, rng)
+	s98 := cfg.SimulateVisits(Design1998, 5_000, rng)
+	if s96.HandTallies == 0 {
+		t.Fatal("1996 medal goals never hand-tallied")
+	}
+	if s98.HandTallies != 0 {
+		t.Fatal("1998 collated design should never hand-tally")
+	}
+	if s96.MeanHits <= s98.MeanHits*2 {
+		t.Fatalf("medal tallying should be much worse in 1996: %.2f vs %.2f", s96.MeanHits, s98.MeanHits)
+	}
+}
+
+func TestNavSimDeterministic(t *testing.T) {
+	cfg := DefaultNavSimConfig()
+	a := cfg.SimulateVisits(Design1996, 1000, rand.New(rand.NewSource(5)))
+	b := cfg.SimulateVisits(Design1996, 1000, rand.New(rand.NewSource(5)))
+	if a != b {
+		t.Fatalf("non-deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestNavSimZeroVisits(t *testing.T) {
+	cfg := DefaultNavSimConfig()
+	s := cfg.SimulateVisits(Design1998, 0, rand.New(rand.NewSource(1)))
+	if s.MeanHits != 0 || s.Visits != 0 {
+		t.Fatalf("zero-visit stats = %+v", s)
+	}
+}
+
+func TestNavSimMisnavigationIncreasesHits(t *testing.T) {
+	rng1 := rand.New(rand.NewSource(3))
+	rng2 := rand.New(rand.NewSource(3))
+	clean := DefaultNavSimConfig()
+	clean.MisnavProb = 0
+	lost := DefaultNavSimConfig()
+	lost.MisnavProb = 0.5
+	a := clean.SimulateVisits(Design1996, 20_000, rng1)
+	b := lost.SimulateVisits(Design1996, 20_000, rng2)
+	if b.MeanHits <= a.MeanHits {
+		t.Fatalf("misnavigation had no cost: %.2f vs %.2f", b.MeanHits, a.MeanHits)
+	}
+}
+
+func BenchmarkNavSimVisit(b *testing.B) {
+	cfg := DefaultNavSimConfig()
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.SimulateVisits(Design1998, 1, rng)
+	}
+}

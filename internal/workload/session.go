@@ -1,0 +1,99 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"dupserve/internal/routing"
+	"dupserve/internal/site"
+)
+
+// SampleSession returns one correlated visit: the sequence of page paths a
+// 1998-design user follows, entering at the current day's home page and
+// riding cross-links — an event page leads to a participant's athlete page,
+// which leads to that athlete's country page; the news index leads into a
+// story. Independent-sample traffic (SamplePage) models aggregate load;
+// sessions model the navigation behaviour the weblog analyzer
+// reconstructs, so both ends of the paper's methodology meet in one model.
+//
+// Sessions are bounded at 12 pages; the mean length tracks the 1998
+// design's short visits (a quarter of users satisfied at the home page).
+func (m *Model) SampleSession(rng *rand.Rand, day int, r routing.Region) []string {
+	lang := "en"
+	if r == routing.RegionJapan && len(m.site.Spec.Languages) > 1 && rng.Float64() < 0.8 {
+		lang = m.site.Spec.Languages[1]
+	}
+	day = clamp(day, 1, m.site.Spec.Days)
+	visit := []string{fmt.Sprintf("/%s/home/day%02d", lang, day)}
+	// A quarter of visits end right at the home page.
+	if rng.Float64() < 0.27 {
+		return visit
+	}
+
+	cur := visit[0]
+	for len(visit) < 12 {
+		next := m.nextPage(rng, lang, cur)
+		if next == "" {
+			break
+		}
+		visit = append(visit, next)
+		cur = next
+		// Geometric continuation: mean ~2 follow-ups.
+		if rng.Float64() < 0.45 {
+			break
+		}
+	}
+	return visit
+}
+
+// nextPage follows one cross-link from the current page.
+func (m *Model) nextPage(rng *rand.Rand, lang, cur string) string {
+	switch {
+	case strings.Contains(cur, "/home/"):
+		// The home page links to everything; weight toward results.
+		switch rng.Intn(5) {
+		case 0:
+			return "/" + lang + "/medals"
+		case 1:
+			return "/" + lang + "/news"
+		default:
+			ev := m.site.Events[m.zipfIndex(m.zipfEvents, len(m.site.Events))]
+			return "/" + lang + "/sports/" + ev.Sport + "/" + ev.Key
+		}
+	case strings.Contains(cur, "/sports/") && strings.Contains(cur[strings.Index(cur, "/sports/")+8:], "/"):
+		// Event page: follow the gold medalist (the page links athletes).
+		ev := m.eventForPage(cur)
+		if ev == nil || len(ev.Participants) == 0 {
+			return ""
+		}
+		id := ev.Participants[rng.Intn(len(ev.Participants))]
+		return "/" + lang + "/athletes/" + id
+	case strings.Contains(cur, "/athletes/"):
+		// Athlete page links to the athlete's country.
+		id := cur[strings.LastIndexByte(cur, '/')+1:]
+		if cc := m.site.AthleteCountry(id); cc != "" {
+			return "/" + lang + "/countries/" + cc
+		}
+		return ""
+	case strings.HasSuffix(cur, "/news"):
+		n := m.zipfIndex(m.zipfNews, m.site.Spec.NewsStories)
+		return fmt.Sprintf("/%s/news/n%03d", lang, n)
+	case strings.Contains(cur, "/medals"):
+		cc := m.site.CountryCodes[rng.Intn(len(m.site.CountryCodes))]
+		return "/" + lang + "/countries/" + cc
+	default:
+		return ""
+	}
+}
+
+// eventForPage resolves an event page path back to its Event.
+func (m *Model) eventForPage(path string) *site.Event {
+	key := path[strings.LastIndexByte(path, '/')+1:]
+	for _, ev := range m.site.Events {
+		if ev.Key == key {
+			return ev
+		}
+	}
+	return nil
+}
