@@ -1,0 +1,31 @@
+GO ?= go
+
+# Packages with lock-free hot paths where a data race would corrupt the
+# observability layer itself; check runs them under the race detector.
+RACE_PKGS = ./internal/stats ./internal/trace ./internal/trigger ./internal/core ./internal/cache ./internal/db
+
+.PHONY: all build test race check bench run
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+# check is the tier-1 gate: everything builds, every test passes, and the
+# metric/trace pipeline is race-clean.
+check: build
+	$(GO) vet ./...
+	$(GO) test ./...
+	$(GO) test -race $(RACE_PKGS)
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ ./...
+
+run:
+	$(GO) run ./cmd/olympicsd -addr :8098 -tick 2s

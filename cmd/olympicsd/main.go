@@ -24,7 +24,9 @@ import (
 	"log"
 	"math/rand"
 	"net/http"
+	"net/http/pprof"
 	"os"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -36,6 +38,8 @@ import (
 	"dupserve/internal/httpserver"
 	"dupserve/internal/odg"
 	"dupserve/internal/site"
+	"dupserve/internal/stats"
+	"dupserve/internal/trace"
 	"dupserve/internal/trigger"
 	"dupserve/internal/weblog"
 )
@@ -66,11 +70,20 @@ func main() {
 	seed := flag.Int64("seed", 1998, "random seed for the games feed")
 	paper := flag.Bool("paper", false, "build the full paper-scale site (~17.5k pages)")
 	accessLog := flag.String("accesslog", "", "also write the access log to this file (CLF)")
+	slo := flag.Duration("slo", 60*time.Second, "freshness SLO (the paper's sixty-second guarantee)")
+	traceRing := flag.Int("traces", 256, "recent propagation traces retained for /debug/traces")
 	flag.Parse()
+
+	// Observability substrate: one registry every subsystem publishes
+	// into, and a tracer following each transaction commit -> push.
+	reg := stats.NewRegistry()
+	tracer := trace.New(trace.WithSLO(*slo), trace.WithRingSize(*traceRing))
+	tracer.RegisterMetrics(reg)
 
 	master := db.New("nagano-master")
 	graph := odg.New()
 	group := cache.NewGroup()
+	master.RegisterMetrics(reg, stats.Labels{"db": "nagano-master"})
 
 	var st *site.Site
 	gen := func(key cache.Key, version int64) (*cache.Object, error) {
@@ -102,9 +115,13 @@ func main() {
 		for p, body := range statics {
 			srv.SetStatic(p, body, "text/html; charset=utf-8")
 		}
+		srv.RegisterMetrics(reg, nil)
 		pool = append(pool, srv)
 	}
 	nd := dispatch.New("nd", pool)
+	engine.RegisterMetrics(reg, nil)
+	group.RegisterMetrics(reg, nil)
+	nd.RegisterMetrics(reg, nil)
 
 	// Prime every cache, then let DUP keep it fresh.
 	log.Printf("prerendering %d pages into %d node caches...", len(st.Pages()), *nodes)
@@ -115,8 +132,10 @@ func main() {
 	// Trigger monitor: the asynchronous component watching the database.
 	mon := trigger.Start(master, engine,
 		trigger.WithIndexer(st.Indexer),
-		trigger.WithBatchWindow(20*time.Millisecond))
+		trigger.WithBatchWindow(20*time.Millisecond),
+		trigger.WithTracer(tracer))
 	defer mon.Stop()
+	mon.RegisterMetrics(reg, nil)
 
 	// The games: results and news arrive on a timer.
 	go runGames(st, *tick, *seed)
@@ -182,6 +201,7 @@ func main() {
 			"engine":     engine.Stats(),
 			"trigger":    mon.Stats(),
 			"dispatcher": nd.Stats(),
+			"freshness":  tracer.Snapshot(),
 			"dbLSN":      master.LSN(),
 			"pages":      len(st.Pages()),
 			"currentDay": st.CurrentDay(),
@@ -194,6 +214,44 @@ func main() {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+
+	// Observability surface: Prometheus text, structured JSON, recent
+	// propagation traces, and pprof.
+	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WriteText(w); err != nil {
+			log.Printf("metrics exposition: %v", err)
+		}
+	})
+	mux.HandleFunc("/debug/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(map[string]any{
+			"metrics":     reg.Snapshot(),
+			"propagation": tracer.Snapshot(),
+		})
+	})
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		n := 50
+		if v := r.URL.Query().Get("n"); v != "" {
+			if parsed, err := strconv.Atoi(v); err == nil {
+				n = parsed
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(map[string]any{
+			"summary": tracer.Snapshot(),
+			"traces":  tracer.Recent(n),
+		})
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 
 	log.Printf("olympicsd listening on %s (%d pages, %d nodes)", *addr, len(st.Pages()), *nodes)
 	log.Fatal(http.ListenAndServe(*addr, mux))

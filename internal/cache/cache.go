@@ -328,6 +328,28 @@ func (c *Cache) Stats() Stats {
 	}
 }
 
+// RegisterMetrics publishes the cache's counters into a registry under a
+// node label (plus any extra labels), the thin adapter replacing ad-hoc
+// Stats polling. Counter families are shared across caches; each cache is
+// one labeled series.
+func (c *Cache) RegisterMetrics(reg *stats.Registry, extra stats.Labels) {
+	labels := stats.Labels{"node": c.name}
+	for k, v := range extra {
+		labels[k] = v
+	}
+	reg.RegisterCounter("cache_hits_total", "cache lookups served", labels, &c.hits)
+	reg.RegisterCounter("cache_misses_total", "cache lookups that missed", labels, &c.misses)
+	reg.RegisterCounter("cache_puts_total", "objects stored", labels, &c.puts)
+	reg.RegisterCounter("cache_updates_total", "puts that replaced an entry (update-in-place)", labels, &c.updates)
+	reg.RegisterCounter("cache_invalidations_total", "entries invalidated", labels, &c.invalidations)
+	reg.RegisterCounter("cache_evictions_total", "entries evicted by the LRU", labels, &c.evictions)
+	reg.RegisterGauge("cache_bytes", "accounted bytes cached", labels, &c.bytes)
+	reg.RegisterFunc("cache_items", "entries cached", labels,
+		func() float64 { return float64(c.Len()) })
+	reg.RegisterFunc("cache_hit_ratio", "hits/(hits+misses) since start", labels,
+		func() float64 { return c.Stats().HitRate() })
+}
+
 // ResetCounters zeroes hit/miss/put/invalidation/eviction counters while
 // leaving contents intact. Experiments use it to discard warm-up effects.
 func (c *Cache) ResetCounters() {

@@ -3,6 +3,8 @@ package cache
 import (
 	"fmt"
 	"sync"
+
+	"dupserve/internal/stats"
 )
 
 // Group manages the set of per-serving-node caches inside one complex. In
@@ -119,6 +121,25 @@ func (g *Group) AggregateStats() Stats {
 		agg.PeakBytes += s.PeakBytes
 	}
 	return agg
+}
+
+// RegisterMetrics publishes every current member's counters plus
+// aggregate compute-on-read gauges (total hit ratio, total bytes) into a
+// registry. Call after membership is assembled; members added later need
+// their own RegisterMetrics call.
+func (g *Group) RegisterMetrics(reg *stats.Registry, extra stats.Labels) {
+	for _, c := range g.Members() {
+		c.RegisterMetrics(reg, extra)
+	}
+	reg.RegisterFunc("cache_group_hit_ratio",
+		"aggregate hits/(hits+misses) across member caches", extra,
+		func() float64 { return g.AggregateStats().HitRate() })
+	reg.RegisterFunc("cache_group_bytes",
+		"aggregate bytes across member caches", extra,
+		func() float64 { return float64(g.AggregateStats().Bytes) })
+	reg.RegisterFunc("cache_group_members",
+		"member caches in the complex", extra,
+		func() float64 { return float64(g.Len()) })
 }
 
 // String describes the group for diagnostics.

@@ -23,6 +23,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"dupserve/internal/cache"
 	"dupserve/internal/odg"
@@ -156,6 +158,22 @@ type Result struct {
 	// Errors collects generation failures; failed objects are invalidated
 	// instead so the cache can never serve a page DUP knows is stale.
 	Errors []error
+
+	// Stage timings, for propagation tracing (internal/trace): how long
+	// this propagation spent traversing the dependence graph, regenerating
+	// objects, and pushing remedies into the store. Render and push are
+	// cumulative across workers, clamped by the caller when deriving
+	// wall-clock stage boundaries.
+	GraphDur  time.Duration
+	RenderDur time.Duration
+	PushDur   time.Duration
+}
+
+// stageTiming accumulates render/push nanoseconds across the (possibly
+// concurrent) regeneration workers of one propagation.
+type stageTiming struct {
+	render atomic.Int64
+	push   atomic.Int64
 }
 
 // Engine executes DUP propagations. Safe for concurrent use, though the
@@ -310,16 +328,19 @@ func (e *Engine) OnChange(version int64, changed ...odg.NodeID) Result {
 		return e.conservative(res, changed)
 	}
 
+	graphStart := time.Now()
 	var affected []odg.NodeID
 	if e.threshold > 0 {
 		affected, res.Deferred = e.thresholdFilter(changed)
 	} else {
 		affected = e.graph.Affected(changed...)
 	}
+	res.GraphDur = time.Since(graphStart)
 	res.Affected = len(affected)
 
 	switch e.policy {
 	case PolicyInvalidate:
+		pushStart := time.Now()
 		for _, id := range affected {
 			n := e.store.ApplyInvalidate(cache.Key(id))
 			if n > 0 {
@@ -327,6 +348,7 @@ func (e *Engine) OnChange(version int64, changed ...odg.NodeID) Result {
 			}
 			e.emit(TraceEvent{Version: version, Key: cache.Key(id), Action: "invalidate", Reason: "affected"})
 		}
+		res.PushDur = time.Since(pushStart)
 		e.invalidated.Add(int64(res.Invalidated))
 	case PolicyHybrid:
 		e.hybrid(&res, version, affected)
@@ -342,21 +364,24 @@ func (e *Engine) OnChange(version int64, changed ...odg.NodeID) Result {
 func (e *Engine) updateInPlace(res *Result, version int64, affected []odg.NodeID) {
 	if e.gen == nil {
 		// Degrade to invalidation rather than serving stale data.
+		pushStart := time.Now()
 		for _, id := range affected {
 			if e.store.ApplyInvalidate(cache.Key(id)) > 0 {
 				res.Invalidated++
 			}
 		}
+		res.PushDur += time.Since(pushStart)
 		res.Errors = append(res.Errors, ErrNoGenerator)
 		e.invalidated.Add(int64(res.Invalidated))
 		return
 	}
+	var tm stageTiming
 	ordered := e.dependencyOrder(affected)
 	if e.workers > 1 && len(ordered) > 1 {
-		e.regenerateParallel(res, version, ordered)
+		e.regenerateParallel(res, version, ordered, &tm)
 	} else {
 		for _, id := range ordered {
-			updated, invalidated, err := e.regenerateOne(version, id)
+			updated, invalidated, err := e.regenerateOne(version, id, &tm)
 			if updated {
 				res.Updated++
 			}
@@ -368,6 +393,8 @@ func (e *Engine) updateInPlace(res *Result, version int64, affected []odg.NodeID
 			}
 		}
 	}
+	res.RenderDur += time.Duration(tm.render.Load())
+	res.PushDur += time.Duration(tm.push.Load())
 	e.updated.Add(int64(res.Updated))
 	e.invalidated.Add(int64(res.Invalidated))
 }
@@ -375,18 +402,24 @@ func (e *Engine) updateInPlace(res *Result, version int64, affected []odg.NodeID
 // regenerateOne renders a single object and applies it, or invalidates it
 // on failure — never leave a known-stale page in the cache. Safe for
 // concurrent use; result accounting is the caller's job.
-func (e *Engine) regenerateOne(version int64, id odg.NodeID) (updated, invalidated bool, err error) {
+func (e *Engine) regenerateOne(version int64, id odg.NodeID, tm *stageTiming) (updated, invalidated bool, err error) {
+	renderStart := time.Now()
 	obj, genErr := e.gen(cache.Key(id), version)
+	tm.render.Add(int64(time.Since(renderStart)))
 	if genErr != nil {
 		e.genErrors.Inc()
+		pushStart := time.Now()
 		invalidated = e.store.ApplyInvalidate(cache.Key(id)) > 0
+		tm.push.Add(int64(time.Since(pushStart)))
 		e.emit(TraceEvent{Version: version, Key: cache.Key(id), Action: "error", Reason: genErr.Error()})
 		return false, invalidated, fmt.Errorf("core: regenerate %q: %w", id, genErr)
 	}
 	if obj.Version == 0 {
 		obj.Version = version
 	}
+	pushStart := time.Now()
 	e.store.ApplyPut(obj)
+	tm.push.Add(int64(time.Since(pushStart)))
 	e.emit(TraceEvent{Version: version, Key: cache.Key(id), Action: "update", Reason: "affected"})
 	return true, false, nil
 }
@@ -402,7 +435,7 @@ func (e *Engine) emit(ev TraceEvent) {
 // goroutines, one dependency level at a time: all of a level's objects may
 // render concurrently because their predecessors completed in earlier
 // levels.
-func (e *Engine) regenerateParallel(res *Result, version int64, ordered []odg.NodeID) {
+func (e *Engine) regenerateParallel(res *Result, version int64, ordered []odg.NodeID, tm *stageTiming) {
 	inSet := make(map[odg.NodeID]int, len(ordered)) // id -> level
 	var levels [][]odg.NodeID
 	for _, id := range ordered {
@@ -429,7 +462,7 @@ func (e *Engine) regenerateParallel(res *Result, version int64, ordered []odg.No
 			go func() {
 				defer wg.Done()
 				defer func() { <-sem }()
-				updated, invalidated, err := e.regenerateOne(version, id)
+				updated, invalidated, err := e.regenerateOne(version, id, tm)
 				mu.Lock()
 				if updated {
 					res.Updated++
@@ -456,6 +489,7 @@ func (e *Engine) hybrid(res *Result, version int64, affected []odg.NodeID) {
 		return
 	}
 	var regen []odg.NodeID
+	pushStart := time.Now()
 	for _, id := range affected {
 		isFragment := len(e.graph.Successors(id)) > 0
 		if isFragment || e.hot == nil || e.hot(cache.Key(id)) {
@@ -467,6 +501,7 @@ func (e *Engine) hybrid(res *Result, version int64, affected []odg.NodeID) {
 		}
 		e.emit(TraceEvent{Version: version, Key: cache.Key(id), Action: "invalidate", Reason: "cold"})
 	}
+	res.PushDur += time.Since(pushStart)
 	e.invalidated.Add(int64(res.Invalidated))
 	e.updateInPlace(res, version, regen)
 }
@@ -529,9 +564,11 @@ func (e *Engine) conservative(res Result, changed []odg.NodeID) Result {
 		ordered = append(ordered, p)
 	}
 	sort.Strings(ordered)
+	pushStart := time.Now()
 	for _, p := range ordered {
 		res.Invalidated += e.store.ApplyInvalidatePrefix(p)
 	}
+	res.PushDur = time.Since(pushStart)
 	res.Affected = res.Invalidated
 	e.invalidated.Add(int64(res.Invalidated))
 	return res
@@ -563,4 +600,20 @@ func (e *Engine) Stats() EngineStats {
 		Deferred:     e.deferred.Value(),
 		GenErrors:    e.genErrors.Value(),
 	}
+}
+
+// RegisterMetrics publishes the engine's counters into a registry — the
+// thin adapter that supersedes polling EngineStats. labels (may be nil)
+// are attached to every series, e.g. {"complex": "tokyo"}.
+func (e *Engine) RegisterMetrics(reg *stats.Registry, labels stats.Labels) {
+	reg.RegisterCounter("dup_propagations_total",
+		"DUP propagation batches executed", labels, &e.propagations)
+	reg.RegisterCounter("dup_objects_updated_total",
+		"cached objects regenerated in place", labels, &e.updated)
+	reg.RegisterCounter("dup_objects_invalidated_total",
+		"cached objects (or entries) invalidated", labels, &e.invalidated)
+	reg.RegisterCounter("dup_objects_deferred_total",
+		"remedies deferred below the staleness threshold", labels, &e.deferred)
+	reg.RegisterCounter("dup_generator_errors_total",
+		"object regeneration failures", labels, &e.genErrors)
 }

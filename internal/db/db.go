@@ -20,7 +20,10 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"dupserve/internal/stats"
 )
 
 // Op identifies the kind of change a transaction applied to a row.
@@ -86,7 +89,20 @@ type Transaction struct {
 	Changes []Change
 	// Commit is the (possibly simulated) commit timestamp.
 	Commit time.Time
+	// TraceID is a process-unique propagation trace ID minted at commit.
+	// It rides the CDC feed and log shipping unchanged, so the trigger
+	// monitor can attribute every downstream propagation stage back to the
+	// originating commit (internal/trace).
+	TraceID int64
 }
+
+// traceSeq mints TraceIDs. Process-global rather than per-DB so a
+// transaction keeps one identity as it ships master -> replica.
+var traceSeq atomic.Int64
+
+// NextTraceID mints a fresh trace ID. Exposed for components that inject
+// synthetic transactions (simulators, tests).
+func NextTraceID() int64 { return traceSeq.Add(1) }
 
 // ErrNoTable is returned when an operation references a table that was
 // never created.
@@ -323,7 +339,7 @@ func (d *DB) Commit(tx *Tx) (Transaction, error) {
 		}
 	}
 	d.lsn++
-	committed := Transaction{LSN: d.lsn, Changes: tx.changes, Commit: d.now()}
+	committed := Transaction{LSN: d.lsn, Changes: tx.changes, Commit: d.now(), TraceID: NextTraceID()}
 	for i := range tx.changes {
 		c := &tx.changes[i]
 		t := d.tables[c.Table]
@@ -427,6 +443,32 @@ func (d *DB) Subscribe(buffer int) (feed <-chan Transaction, cancel func()) {
 		d.mu.Unlock()
 		s.cancel()
 	}
+}
+
+// RegisterMetrics publishes the database's state into a registry as
+// compute-on-read gauges: committed LSN (the commit count), retained log
+// length, table count, and live CDC subscriber count.
+func (d *DB) RegisterMetrics(reg *stats.Registry, labels stats.Labels) {
+	reg.RegisterFunc("db_lsn", "last committed log sequence number", labels,
+		func() float64 { return float64(d.LSN()) })
+	reg.RegisterFunc("db_log_transactions", "transactions retained for replica catch-up", labels,
+		func() float64 {
+			d.mu.RLock()
+			defer d.mu.RUnlock()
+			return float64(len(d.log))
+		})
+	reg.RegisterFunc("db_tables", "tables in the store", labels,
+		func() float64 {
+			d.mu.RLock()
+			defer d.mu.RUnlock()
+			return float64(len(d.tables))
+		})
+	reg.RegisterFunc("db_cdc_subscribers", "live change-data-capture feeds", labels,
+		func() float64 {
+			d.mu.RLock()
+			defer d.mu.RUnlock()
+			return float64(len(d.subs))
+		})
 }
 
 // Close marks the database closed. Subsequent commits fail with ErrClosed;

@@ -503,3 +503,39 @@ func BenchmarkGet(b *testing.B) {
 		}
 	}
 }
+
+func TestCommitMintsUniqueTraceIDs(t *testing.T) {
+	d := New("t")
+	d.CreateTable("r")
+	seen := make(map[int64]bool)
+	for i := 0; i < 10; i++ {
+		tx, err := d.Commit(d.NewTx().Put("r", "k", map[string]string{"v": "1"}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tx.TraceID == 0 {
+			t.Fatal("commit did not mint a TraceID")
+		}
+		if seen[tx.TraceID] {
+			t.Fatalf("duplicate TraceID %d", tx.TraceID)
+		}
+		seen[tx.TraceID] = true
+	}
+}
+
+func TestApplyPreservesTraceID(t *testing.T) {
+	master := New("m")
+	master.CreateTable("r")
+	tx, err := master.Commit(master.NewTx().Put("r", "k", map[string]string{"v": "1"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	replica := New("rep")
+	if err := replica.Apply(tx); err != nil {
+		t.Fatal(err)
+	}
+	got := replica.LogSince(0)
+	if len(got) != 1 || got[0].TraceID != tx.TraceID {
+		t.Fatalf("replica log TraceID = %+v, want %d (identity must survive log shipping)", got, tx.TraceID)
+	}
+}

@@ -331,6 +331,20 @@ type DispatcherStats struct {
 	Nodes     []NodeStats
 }
 
+// RegisterMetrics publishes the dispatcher's counters and pool health into
+// a registry. labels (may be nil) are attached to every series.
+func (d *Dispatcher) RegisterMetrics(reg *stats.Registry, labels stats.Labels) {
+	reg.RegisterCounter("dispatch_forwarded_total",
+		"requests forwarded to a pool member", labels, &d.forwarded)
+	reg.RegisterCounter("dispatch_failovers_total",
+		"requests retried on another member after a failure", labels, &d.failovers)
+	reg.RegisterCounter("dispatch_rejected_total",
+		"requests rejected with no healthy member", labels, &d.rejected)
+	reg.RegisterFunc("dispatch_healthy_nodes",
+		"pool members currently marked up", labels,
+		func() float64 { return float64(d.HealthyCount()) })
+}
+
 // Stats returns a snapshot of pool state and counters.
 func (d *Dispatcher) Stats() DispatcherStats {
 	d.mu.Lock()

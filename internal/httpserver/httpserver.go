@@ -284,6 +284,24 @@ func (s *Server) Stats() ServerStats {
 	}
 }
 
+// RegisterMetrics publishes the node's request counters into a registry
+// under a node label (plus any extra labels).
+func (s *Server) RegisterMetrics(reg *stats.Registry, extra stats.Labels) {
+	labels := stats.Labels{"node": s.name}
+	for k, v := range extra {
+		labels[k] = v
+	}
+	reg.RegisterCounter("http_requests_total", "requests served", labels, &s.requests)
+	reg.RegisterCounter("http_cache_hits_total", "dynamic requests served from cache", labels, &s.hits)
+	reg.RegisterCounter("http_cache_misses_total", "dynamic requests regenerated on miss", labels, &s.misses)
+	reg.RegisterCounter("http_static_total", "static requests served", labels, &s.statics)
+	reg.RegisterCounter("http_not_found_total", "requests with no route", labels, &s.notFound)
+	reg.RegisterCounter("http_errors_total", "requests that failed generation", labels, &s.errs)
+	reg.RegisterCounter("http_bytes_out_total", "response body bytes written", labels, &s.bytesOut)
+	reg.RegisterFunc("http_hit_ratio", "dynamic hits/(hits+misses) since start", labels,
+		func() float64 { return s.Stats().HitRate() })
+}
+
 // ResetStats zeroes the node's counters.
 func (s *Server) ResetStats() {
 	s.requests.Reset()

@@ -42,18 +42,19 @@ type Gauge struct {
 // Set stores v and updates the running maximum.
 func (g *Gauge) Set(v int64) {
 	g.v.Store(v)
-	for {
-		m := g.max.Load()
-		if v <= m || g.max.CompareAndSwap(m, v) {
-			return
-		}
-	}
+	g.updateMax(v)
 }
 
 // Add adjusts the gauge by delta (which may be negative) and updates the
 // running maximum.
 func (g *Gauge) Add(delta int64) {
-	v := g.v.Add(delta)
+	g.updateMax(g.v.Add(delta))
+}
+
+// updateMax raises the running maximum to v with a CAS loop; concurrent
+// raisers may interleave, so losing the CAS means re-checking against the
+// new maximum rather than giving up.
+func (g *Gauge) updateMax(v int64) {
 	for {
 		m := g.max.Load()
 		if v <= m || g.max.CompareAndSwap(m, v) {

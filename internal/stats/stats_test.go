@@ -79,6 +79,44 @@ func TestGaugeConcurrentMax(t *testing.T) {
 	}
 }
 
+func TestGaugeConcurrentAddMax(t *testing.T) {
+	// Workers each add +1 n times then -1 n times; the peak must equal the
+	// moment every +1 had landed, and Max must never lose a raise even when
+	// adders race through the shared updateMax CAS loop.
+	const workers, per = 8, 1000
+	var g Gauge
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				g.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if g.Max() != workers*per {
+		t.Fatalf("Max after adds = %d, want %d", g.Max(), workers*per)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				g.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if g.Value() != 0 {
+		t.Fatalf("Value after drain = %d, want 0", g.Value())
+	}
+	if g.Max() != workers*per {
+		t.Fatalf("Max after drain = %d, want %d (max must not decay)", g.Max(), workers*per)
+	}
+}
+
 func TestHistogramPanicsOnBadBounds(t *testing.T) {
 	for _, bounds := range [][]float64{{}, {1, 1}, {2, 1}} {
 		func() {

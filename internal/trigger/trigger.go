@@ -24,6 +24,7 @@ import (
 	"dupserve/internal/db"
 	"dupserve/internal/odg"
 	"dupserve/internal/stats"
+	"dupserve/internal/trace"
 )
 
 // Indexer maps one database change to the ODG vertex IDs that should be
@@ -52,14 +53,26 @@ type Monitor struct {
 	flushC     chan chan struct{}
 	done       chan struct{}
 
+	tracer *trace.Tracer
+
 	batches     stats.Counter
 	txs         stats.Counter
 	updated     stats.Counter
 	invalidated stats.Counter
-	latency     stats.Summary // commit -> propagated, seconds
+	latency     stats.Summary    // commit -> propagated, seconds
+	batchSizes  *stats.Histogram // transactions per propagated batch
+	batchWait   *stats.Histogram // arrival of first tx -> flush, seconds
 
 	mu      sync.Mutex
 	lastLSN int64
+}
+
+// pendingTx is a CDC transaction waiting in the monitor's batch, stamped
+// with its feed-arrival time so propagation traces can separate the
+// commit->cdc and cdc->flush stages.
+type pendingTx struct {
+	tx      db.Transaction
+	arrived time.Time
 }
 
 // Option configures a Monitor.
@@ -91,6 +104,12 @@ func WithClock(now func() time.Time) Option {
 	return func(m *Monitor) { m.now = now }
 }
 
+// WithTracer records an end-to-end propagation trace (commit -> cdc ->
+// batch -> dup -> render -> push) for every transaction into t.
+func WithTracer(t *trace.Tracer) Option {
+	return func(m *Monitor) { m.tracer = t }
+}
+
 // Start subscribes to database's feed and begins propagating into engine.
 func Start(database *db.DB, engine *core.Engine, opts ...Option) *Monitor {
 	m := &Monitor{
@@ -102,6 +121,9 @@ func Start(database *db.DB, engine *core.Engine, opts ...Option) *Monitor {
 		now:         time.Now,
 		flushC:      make(chan chan struct{}),
 		done:        make(chan struct{}),
+		batchSizes:  stats.NewHistogram(1, 2, 4, 8, 16, 32, 64, 128, 256),
+		batchWait: stats.NewHistogram(0.0001, 0.00025, 0.0005, 0.001, 0.0025,
+			0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5),
 	}
 	for _, o := range opts {
 		o(m)
@@ -113,7 +135,7 @@ func Start(database *db.DB, engine *core.Engine, opts ...Option) *Monitor {
 
 func (m *Monitor) loop() {
 	defer close(m.done)
-	var pending []db.Transaction
+	var pending []pendingTx
 	var timer *time.Timer
 	var timerC <-chan time.Time
 
@@ -123,6 +145,13 @@ func (m *Monitor) loop() {
 			timer = nil
 			timerC = nil
 		}
+	}
+	admit := func(tx db.Transaction) {
+		arrived := m.now()
+		if m.tracer != nil {
+			m.tracer.Arrive(tx.TraceID, tx.Commit)
+		}
+		pending = append(pending, pendingTx{tx: tx, arrived: arrived})
 	}
 	propagate := func() {
 		stopTimer()
@@ -140,7 +169,7 @@ func (m *Monitor) loop() {
 				propagate()
 				return
 			}
-			pending = append(pending, tx)
+			admit(tx)
 			if m.batchWindow <= 0 || len(pending) >= m.batchSize {
 				propagate()
 			} else if timerC == nil {
@@ -160,7 +189,7 @@ func (m *Monitor) loop() {
 				select {
 				case tx, ok := <-m.feed:
 					if ok {
-						pending = append(pending, tx)
+						admit(tx)
 						continue
 					}
 				default:
@@ -175,15 +204,16 @@ func (m *Monitor) loop() {
 
 // propagate maps a batch of transactions to changed vertices and runs one
 // DUP propagation stamped with the batch's highest LSN.
-func (m *Monitor) propagate(batch []db.Transaction) {
+func (m *Monitor) propagate(batch []pendingTx) {
+	flush := m.now()
 	seen := make(map[odg.NodeID]struct{})
 	var changed []odg.NodeID
 	var maxLSN int64
-	for _, tx := range batch {
-		if tx.LSN > maxLSN {
-			maxLSN = tx.LSN
+	for _, p := range batch {
+		if p.tx.LSN > maxLSN {
+			maxLSN = p.tx.LSN
 		}
-		for _, c := range tx.Changes {
+		for _, c := range p.tx.Changes {
 			for _, id := range m.indexer(c) {
 				if _, dup := seen[id]; !dup {
 					seen[id] = struct{}{}
@@ -198,15 +228,49 @@ func (m *Monitor) propagate(batch []db.Transaction) {
 	m.txs.Add(int64(len(batch)))
 	m.updated.Add(int64(res.Updated))
 	m.invalidated.Add(int64(res.Invalidated))
+	m.batchSizes.Observe(float64(len(batch)))
+	m.batchWait.Observe(flush.Sub(batch[0].arrived).Seconds())
 	end := m.now()
-	for _, tx := range batch {
-		m.latency.Observe(end.Sub(tx.Commit).Seconds())
+	for _, p := range batch {
+		m.latency.Observe(end.Sub(p.tx.Commit).Seconds())
+	}
+	if m.tracer != nil {
+		// Derive wall-clock stage boundaries from the engine's phase
+		// durations. Render/push are cumulative across workers, so clamp
+		// each boundary to the observed end of the propagation.
+		dupDone := clampTime(flush.Add(res.GraphDur), end)
+		renderDone := clampTime(dupDone.Add(res.RenderDur), end)
+		for _, p := range batch {
+			tr := trace.Trace{
+				ID:          p.tx.TraceID,
+				LSN:         p.tx.LSN,
+				Vertices:    res.Changed,
+				FanOut:      res.Affected,
+				Updated:     res.Updated,
+				Invalidated: res.Invalidated,
+			}
+			tr.Times[trace.StageCommit] = p.tx.Commit
+			tr.Times[trace.StageCDC] = p.arrived
+			tr.Times[trace.StageBatch] = flush
+			tr.Times[trace.StageDUP] = dupDone
+			tr.Times[trace.StageRender] = renderDone
+			tr.Times[trace.StagePush] = end
+			m.tracer.Record(tr)
+		}
 	}
 	m.mu.Lock()
 	if maxLSN > m.lastLSN {
 		m.lastLSN = maxLSN
 	}
 	m.mu.Unlock()
+}
+
+// clampTime returns t, or limit if t is after it.
+func clampTime(t, limit time.Time) time.Time {
+	if t.After(limit) {
+		return limit
+	}
+	return t
 }
 
 // Flush synchronously propagates everything committed before the call,
@@ -269,4 +333,27 @@ func (m *Monitor) Stats() MonitorStats {
 		LatencyP99:    m.latency.Percentile(99),
 		LatencyMax:    m.latency.Max(),
 	}
+}
+
+// BatchSizes returns the histogram of transactions per propagated batch.
+func (m *Monitor) BatchSizes() *stats.Histogram { return m.batchSizes }
+
+// BatchWait returns the histogram of first-arrival-to-flush wait, seconds.
+func (m *Monitor) BatchWait() *stats.Histogram { return m.batchWait }
+
+// RegisterMetrics publishes the monitor's counters and batching histograms
+// into a registry. labels (may be nil) are attached to every series.
+func (m *Monitor) RegisterMetrics(reg *stats.Registry, labels stats.Labels) {
+	reg.RegisterCounter("trigger_batches_total",
+		"propagation batches flushed", labels, &m.batches)
+	reg.RegisterCounter("trigger_transactions_total",
+		"CDC transactions propagated", labels, &m.txs)
+	reg.RegisterCounter("trigger_pages_updated_total",
+		"pages updated in place by trigger-driven propagations", labels, &m.updated)
+	reg.RegisterCounter("trigger_invalidations_total",
+		"pages invalidated by trigger-driven propagations", labels, &m.invalidated)
+	reg.RegisterHistogram("trigger_batch_size_transactions",
+		"transactions coalesced per batch", labels, m.batchSizes)
+	reg.RegisterHistogram("trigger_batch_wait_seconds",
+		"wait from a batch's first CDC arrival to its flush", labels, m.batchWait)
 }

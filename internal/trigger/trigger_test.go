@@ -10,6 +10,7 @@ import (
 	"dupserve/internal/core"
 	"dupserve/internal/db"
 	"dupserve/internal/odg"
+	"dupserve/internal/trace"
 )
 
 // harness wires db -> monitor -> engine -> cache with a generator that
@@ -299,5 +300,129 @@ func TestConcurrentCommittersSingleMonitor(t *testing.T) {
 	}
 	if h.monitor.LastLSN() != 100 {
 		t.Fatalf("LastLSN = %d, want 100", h.monitor.LastLSN())
+	}
+}
+
+// TestTracePropagationStages asserts that every committed transaction's
+// trace contains exactly the stages commit -> cdc -> batch -> dup ->
+// render -> push with monotonically non-decreasing boundary timestamps.
+func TestTracePropagationStages(t *testing.T) {
+	cases := []struct {
+		name    string
+		opts    []Option
+		commits int
+	}{
+		{"unbatched single tx", []Option{WithBatchWindow(0)}, 1},
+		{"windowed batch", []Option{WithBatchWindow(5 * time.Millisecond), WithBatchSize(64)}, 5},
+		{"size-triggered batch", []Option{WithBatchWindow(time.Hour), WithBatchSize(2)}, 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tr := trace.New()
+			h := newHarness(t, append(append([]Option(nil), tc.opts...), WithTracer(tr))...)
+			h.registerPage(t, "ev1")
+			for i := 0; i < tc.commits; i++ {
+				h.commit(t, "ev1", fmt.Sprintf("score-%d", i))
+			}
+			h.monitor.Flush()
+
+			if got := tr.Recorded(); got != int64(tc.commits) {
+				t.Fatalf("traces recorded = %d, want %d (one per transaction)", got, tc.commits)
+			}
+			if tr.InFlight() != 0 {
+				t.Fatalf("in-flight after flush = %d, want 0", tr.InFlight())
+			}
+			seenIDs := make(map[int64]bool)
+			for _, got := range tr.Recent(0) {
+				if got.ID == 0 {
+					t.Fatal("trace ID not minted at commit")
+				}
+				if seenIDs[got.ID] {
+					t.Fatalf("duplicate trace ID %d", got.ID)
+				}
+				seenIDs[got.ID] = true
+				if got.LSN <= 0 {
+					t.Fatalf("trace LSN = %d, want > 0", got.LSN)
+				}
+				if got.Vertices < 1 || got.FanOut < 1 {
+					t.Fatalf("trace touched vertices=%d fanOut=%d, want >= 1 each", got.Vertices, got.FanOut)
+				}
+				for i, s := range trace.Stages() {
+					ts := got.Times[s]
+					if ts.IsZero() {
+						t.Fatalf("stage %v has no timestamp", s)
+					}
+					if i > 0 && ts.Before(got.Times[trace.Stages()[i-1]]) {
+						t.Fatalf("stage %v at %v precedes %v at %v", s, ts,
+							trace.Stages()[i-1], got.Times[trace.Stages()[i-1]])
+					}
+				}
+				if got.Total() < 0 {
+					t.Fatalf("negative total latency %v", got.Total())
+				}
+			}
+		})
+	}
+}
+
+// TestTraceSLOViolation pins the database clock in the past and the
+// monitor clock in the future so a propagation "takes" 70 simulated
+// seconds, violating the 60-second freshness SLO.
+func TestTraceSLOViolation(t *testing.T) {
+	base := time.Unix(5000, 0)
+	d := db.New("t", db.WithClock(func() time.Time { return base }))
+	d.CreateTable("results")
+	c := cache.New("t")
+	g := odg.New()
+	gen := func(key cache.Key, version int64) (*cache.Object, error) {
+		return &cache.Object{Key: key, Value: []byte("x"), Version: version}, nil
+	}
+	e := core.NewEngine(g, core.SingleCache{C: c}, core.WithGenerator(gen))
+	tr := trace.New(trace.WithSLO(60 * time.Second))
+	m := Start(d, e, WithTracer(tr), WithBatchWindow(0),
+		WithClock(func() time.Time { return base.Add(70 * time.Second) }))
+	t.Cleanup(m.Stop)
+
+	e.RegisterObject("/page/ev1", []odg.NodeID{odg.NodeID(db.RowID("results", "ev1"))})
+	if _, err := d.Commit(d.NewTx().Put("results", "ev1", map[string]string{"score": "1"})); err != nil {
+		t.Fatal(err)
+	}
+	m.Flush()
+	if got := tr.Violations(); got != 1 {
+		t.Fatalf("SLO violations = %d, want 1 (70s > 60s SLO)", got)
+	}
+	if tr.Recorded() != 1 {
+		t.Fatalf("recorded = %d, want 1", tr.Recorded())
+	}
+}
+
+// TestBatchHistograms verifies the monitor feeds its batching histograms:
+// one batch-size and one batch-wait observation per propagated batch.
+func TestBatchHistograms(t *testing.T) {
+	tr := trace.New()
+	h := newHarness(t, WithBatchWindow(time.Hour), WithBatchSize(3), WithTracer(tr))
+	h.registerPage(t, "ev1")
+	for i := 0; i < 3; i++ {
+		h.commit(t, "ev1", fmt.Sprintf("s%d", i))
+	}
+	h.monitor.Flush()
+
+	sizes := h.monitor.BatchSizes()
+	waits := h.monitor.BatchWait()
+	if sizes.Count() == 0 {
+		t.Fatal("batch-size histogram recorded nothing")
+	}
+	if sizes.Count() != waits.Count() {
+		t.Fatalf("size observations = %d, wait observations = %d, want equal",
+			sizes.Count(), waits.Count())
+	}
+	batches := h.monitor.Stats().Batches
+	if sizes.Count() != batches {
+		t.Fatalf("size observations = %d, batches = %d, want one per batch", sizes.Count(), batches)
+	}
+	// All three commits land before the size-3 threshold flushes, so some
+	// batch must have held more than one transaction.
+	if sizes.Mean() < 1 {
+		t.Fatalf("mean batch size = %v, want >= 1", sizes.Mean())
 	}
 }
