@@ -1,10 +1,12 @@
 GO ?= go
 
 # Packages with lock-free hot paths where a data race would corrupt the
-# observability layer itself; check runs them under the race detector.
-RACE_PKGS = ./internal/stats ./internal/trace ./internal/trigger ./internal/core ./internal/cache ./internal/db
+# observability layer itself, plus the fault-injection and recovery layer
+# whose whole point is concurrent crash/restart; check runs them under the
+# race detector.
+RACE_PKGS = ./internal/stats ./internal/trace ./internal/trigger ./internal/core ./internal/cache ./internal/db ./internal/fault ./internal/deploy
 
-.PHONY: all build test race check bench run
+.PHONY: all build test race check chaos bench run
 
 all: check
 
@@ -17,12 +19,20 @@ test:
 race:
 	$(GO) test -race $(RACE_PKGS)
 
-# check is the tier-1 gate: everything builds, every test passes, and the
-# metric/trace pipeline is race-clean.
+# chaos runs the deterministic fault-injection tournament: every fault kind
+# against a live deployment, asserting zero lost transactions, zero stale
+# pages, and zero residual freshness-SLO violations.
+chaos:
+	$(GO) run ./cmd/simulate -chaos -seed 1
+
+# check is the tier-1 gate: everything builds, vets clean, every test
+# passes, the propagation pipeline is race-clean, and the chaos tournament
+# converges.
 check: build
 	$(GO) vet ./...
 	$(GO) test ./...
 	$(GO) test -race $(RACE_PKGS)
+	$(GO) run ./cmd/simulate -chaos -seed 1
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...

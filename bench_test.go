@@ -243,14 +243,14 @@ func BenchmarkE12_Failover(b *testing.B) {
 		return &cache.Object{Key: cache.Key(path), Value: []byte("x")}, httpserver.OutcomeHit, nil
 	}}
 	b.Run("HealthyPool", func(b *testing.B) {
-		d := dispatch.New("nd", []dispatch.Node{named{"a", healthy.fn}, named{"b", healthy.fn}})
+		d := dispatch.New(dispatch.Config{Name: "nd", Nodes: []dispatch.Node{named{"a", healthy.fn}, named{"b", healthy.fn}}})
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			d.Serve("/p")
 		}
 	})
 	b.Run("OneNodeDown", func(b *testing.B) {
-		d := dispatch.New("nd", []dispatch.Node{named{"a", healthy.fn}, named{"b", healthy.fn}, named{"c", healthy.fn}})
+		d := dispatch.New(dispatch.Config{Name: "nd", Nodes: []dispatch.Node{named{"a", healthy.fn}, named{"b", healthy.fn}, named{"c", healthy.fn}}})
 		d.MarkDown("a")
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {

@@ -118,7 +118,7 @@ func main() {
 		srv.RegisterMetrics(reg, nil)
 		pool = append(pool, srv)
 	}
-	nd := dispatch.New("nd", pool)
+	nd := dispatch.New(dispatch.Config{Name: "nd", Nodes: pool})
 	engine.RegisterMetrics(reg, nil)
 	group.RegisterMetrics(reg, nil)
 	nd.RegisterMetrics(reg, nil)

@@ -18,6 +18,18 @@
 //	simulate -experiment sessions   # §3.1 methodology: session traffic through the log analyzer
 //	simulate -experiment freshness  # E16: update-to-visible latency, regen volume
 //
+// Chaos mode runs a fault-injection tournament against the live deployment
+// instead of the discrete-event simulation:
+//
+//	simulate -chaos -seed 1 -rounds 5
+//
+// Each round arms one fault kind (replication partition, monitor crash,
+// push failure, render error, node death), commits transactions through
+// the window, clears the fault, and asserts convergence: zero lost
+// transactions, zero stale pages, zero residual freshness-SLO violations.
+// Output is deterministic for a given seed; the process exits non-zero if
+// any invariant breaks.
+//
 // Traffic runs at a configurable fraction of the paper's 634.7M hits
 // (default 1/1000); printed hit figures are rescaled back to paper volume
 // for side-by-side comparison.
@@ -34,6 +46,7 @@ import (
 	"time"
 
 	"dupserve/internal/cache"
+	"dupserve/internal/chaos"
 	"dupserve/internal/core"
 	"dupserve/internal/db"
 	"dupserve/internal/netsim"
@@ -52,7 +65,21 @@ func main() {
 	small := flag.Bool("small", false, "use a small site (fast; for smoke runs)")
 	verbose := flag.Bool("v", false, "per-day progress")
 	csvDir := flag.String("csv", "", "also write each figure's series as CSV into this directory")
+	chaosMode := flag.Bool("chaos", false, "run the fault-injection tournament instead of the simulation")
+	rounds := flag.Int("rounds", 5, "fault rounds for -chaos")
 	flag.Parse()
+
+	if *chaosMode {
+		res, err := chaos.Run(chaos.Config{Seed: *seed, Rounds: *rounds, Out: os.Stdout})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "chaos:", err)
+			os.Exit(1)
+		}
+		if !res.OK {
+			os.Exit(1)
+		}
+		return
+	}
 
 	cfg := sim.DefaultConfig()
 	cfg.Seed = *seed

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -31,7 +32,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer d.Stop()
+	ctx := context.Background()
+	if err := d.Start(ctx); err != nil {
+		log.Fatal(err)
+	}
+	defer d.Shutdown(ctx)
 	if err := d.Prime(30 * time.Second); err != nil {
 		log.Fatal(err)
 	}
@@ -51,7 +56,7 @@ func main() {
 		ev.Key, gold, time.Since(start).Round(time.Millisecond))
 	for _, cx := range d.Complexes() {
 		fmt.Printf("  %-12s replica LSN %d, propagated LSN %d, pages updated %d\n",
-			cx.Name, cx.Replica.LSN(), cx.Monitor.LastLSN(), cx.Monitor.Stats().PagesUpdated)
+			cx.Name, cx.Replica.LSN(), cx.Monitor().LastLSN(), cx.Monitor().Stats().PagesUpdated)
 	}
 
 	// Clients around the world read the event page.

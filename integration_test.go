@@ -7,6 +7,7 @@ package dupserve
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -39,6 +40,9 @@ func TestIntegrationDayInTheLife(t *testing.T) {
 	cfg.BatchWindow = 2 * time.Millisecond
 	d, err := deploy.New(cfg)
 	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Start(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	defer d.Stop()

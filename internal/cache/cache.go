@@ -271,6 +271,25 @@ func (c *Cache) InvalidatePrefix(prefix string) int {
 	return len(victims)
 }
 
+// ApplyPut implements the DUP store contract (core.Store) directly on a
+// single cache: install a freshly generated object.
+func (c *Cache) ApplyPut(obj *Object) { c.Put(obj) }
+
+// ApplyInvalidate implements the DUP store contract: remove an object,
+// reporting how many replicas held it (0 or 1 for a single cache).
+func (c *Cache) ApplyInvalidate(key Key) int {
+	if c.Invalidate(key) {
+		return 1
+	}
+	return 0
+}
+
+// ApplyInvalidatePrefix implements the DUP store contract: remove every
+// object whose key has the prefix.
+func (c *Cache) ApplyInvalidatePrefix(prefix string) int {
+	return c.InvalidatePrefix(prefix)
+}
+
 // Clear removes every entry, counting them as invalidations.
 func (c *Cache) Clear() int {
 	c.mu.Lock()

@@ -3,9 +3,59 @@ package cache
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"dupserve/internal/stats"
 )
+
+// PutHook intercepts one node's share of a broadcast put. node is the
+// member cache's name and attempt counts from 1; returning an error fails
+// that attempt. Fault injection wires in here: a hook that errors models a
+// push that never reached the node.
+type PutHook func(node string, obj *Object, attempt int) error
+
+// RetryPolicy bounds how hard BroadcastPut fights a failing push before
+// degrading. The remedy on exhaustion is always an invalidation of that
+// node's entry: the node takes a miss on the next request instead of ever
+// serving a page the pipeline knows is stale.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts per node per broadcast
+	// (first try included). <= 0 means DefaultRetryPolicy's value.
+	MaxAttempts int
+	// Backoff is the sleep before the second attempt; it doubles each
+	// further attempt. <= 0 means DefaultRetryPolicy's value.
+	Backoff time.Duration
+	// MaxBackoff caps the doubling. <= 0 means DefaultRetryPolicy's value.
+	MaxBackoff time.Duration
+	// Sleep substitutes the sleep implementation (tests and deterministic
+	// chaos runs use a no-op). nil means time.Sleep.
+	Sleep func(time.Duration)
+}
+
+// DefaultRetryPolicy is the policy used when a put hook is installed
+// without an explicit policy: three attempts, 200µs exponential backoff
+// capped at 5ms.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 3, Backoff: 200 * time.Microsecond, MaxBackoff: 5 * time.Millisecond}
+}
+
+// normalize fills zero fields from the default policy.
+func (p RetryPolicy) normalize() RetryPolicy {
+	def := DefaultRetryPolicy()
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = def.MaxAttempts
+	}
+	if p.Backoff <= 0 {
+		p.Backoff = def.Backoff
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = def.MaxBackoff
+	}
+	if p.Sleep == nil {
+		p.Sleep = time.Sleep
+	}
+	return p
+}
 
 // Group manages the set of per-serving-node caches inside one complex. In
 // the paper's SP2 layout (Figure 6) the trigger monitor on the SMP renders a
@@ -18,11 +68,37 @@ import (
 type Group struct {
 	mu     sync.RWMutex
 	caches map[string]*Cache
+
+	putHook PutHook
+	retry   RetryPolicy
+
+	pushRetries    stats.Counter // retry attempts after a failed push
+	pushFailures   stats.Counter // individual failed push attempts
+	pushDowngrades stats.Counter // pushes downgraded to invalidation
+}
+
+// GroupOption configures a Group.
+type GroupOption func(*Group)
+
+// WithPutHook intercepts every per-node put in BroadcastPut (fault
+// injection). A failing hook triggers the group's retry policy.
+func WithPutHook(h PutHook) GroupOption {
+	return func(g *Group) { g.putHook = h }
+}
+
+// WithRetryPolicy sets the bounded-retry policy applied when a put hook
+// fails. Without this option the default policy applies.
+func WithRetryPolicy(p RetryPolicy) GroupOption {
+	return func(g *Group) { g.retry = p.normalize() }
 }
 
 // NewGroup returns an empty group.
-func NewGroup() *Group {
-	return &Group{caches: make(map[string]*Cache)}
+func NewGroup(opts ...GroupOption) *Group {
+	g := &Group{caches: make(map[string]*Cache), retry: DefaultRetryPolicy().normalize()}
+	for _, o := range opts {
+		o(g)
+	}
+	return g
 }
 
 // Add registers a member cache under its name. Adding a second cache with
@@ -70,21 +146,64 @@ func (g *Group) Members() []*Cache {
 }
 
 // BroadcastPut stores a copy of obj's metadata (sharing the value bytes,
-// which are immutable by contract) into every member cache. It returns the
-// number of caches updated.
+// which are immutable by contract) into every member cache. If a put hook
+// is installed and fails, the push to that node is retried with exponential
+// backoff up to the retry policy's budget; on exhaustion the node's entry
+// is invalidated instead — graceful degradation to a miss, never a stale
+// hit. It returns the number of caches that received the fresh object.
 func (g *Group) BroadcastPut(obj *Object) int {
 	members := g.Members()
+	g.mu.RLock()
+	hook, retry := g.putHook, g.retry
+	g.mu.RUnlock()
+
+	fresh := 0
 	for _, c := range members {
 		// Each cache gets its own Object so StoredAt/Version remain
 		// per-cache consistent even if a member applies it later.
 		o := *obj
-		c.Put(&o)
+		if hook == nil {
+			c.Put(&o)
+			fresh++
+			continue
+		}
+		if g.pushWithRetry(hook, retry, c, &o) {
+			fresh++
+		}
 	}
-	return len(members)
+	return fresh
+}
+
+// pushWithRetry drives one node's push through the hook, retrying per the
+// policy and invalidating the node's entry on exhaustion. Reports whether
+// the node ended up with the fresh object.
+func (g *Group) pushWithRetry(hook PutHook, retry RetryPolicy, c *Cache, o *Object) bool {
+	backoff := retry.Backoff
+	for attempt := 1; ; attempt++ {
+		err := hook(c.Name(), o, attempt)
+		if err == nil {
+			c.Put(o)
+			return true
+		}
+		g.pushFailures.Inc()
+		if attempt >= retry.MaxAttempts {
+			// Exhausted: never leave the stale version serveable.
+			c.Invalidate(o.Key)
+			g.pushDowngrades.Inc()
+			return false
+		}
+		g.pushRetries.Inc()
+		retry.Sleep(backoff)
+		backoff *= 2
+		if backoff > retry.MaxBackoff {
+			backoff = retry.MaxBackoff
+		}
+	}
 }
 
 // BroadcastInvalidate removes key from every member cache and returns how
-// many caches held it.
+// many caches held it. Invalidations are the degraded remedy and are never
+// subject to push faults: dropping an entry requires no data transfer.
 func (g *Group) BroadcastInvalidate(key Key) int {
 	n := 0
 	for _, c := range g.Members() {
@@ -103,6 +222,33 @@ func (g *Group) BroadcastInvalidatePrefix(prefix string) int {
 		n += c.InvalidatePrefix(prefix)
 	}
 	return n
+}
+
+// ApplyPut implements the DUP store contract (core.Store) by broadcasting.
+func (g *Group) ApplyPut(obj *Object) { g.BroadcastPut(obj) }
+
+// ApplyInvalidate implements the DUP store contract by broadcasting.
+func (g *Group) ApplyInvalidate(key Key) int { return g.BroadcastInvalidate(key) }
+
+// ApplyInvalidatePrefix implements the DUP store contract by broadcasting.
+func (g *Group) ApplyInvalidatePrefix(prefix string) int {
+	return g.BroadcastInvalidatePrefix(prefix)
+}
+
+// PushStats snapshots the group's push-degradation counters.
+type PushStats struct {
+	Retries    int64 // retry attempts after failed pushes
+	Failures   int64 // individual failed push attempts
+	Downgrades int64 // pushes downgraded to an invalidation
+}
+
+// PushStats returns the group's push-degradation counters.
+func (g *Group) PushStats() PushStats {
+	return PushStats{
+		Retries:    g.pushRetries.Value(),
+		Failures:   g.pushFailures.Value(),
+		Downgrades: g.pushDowngrades.Value(),
+	}
 }
 
 // AggregateStats sums the counters of all member caches.
@@ -140,6 +286,12 @@ func (g *Group) RegisterMetrics(reg *stats.Registry, extra stats.Labels) {
 	reg.RegisterFunc("cache_group_members",
 		"member caches in the complex", extra,
 		func() float64 { return float64(g.Len()) })
+	reg.RegisterCounter("push_retries_total",
+		"broadcast push attempts retried after a per-node failure", extra, &g.pushRetries)
+	reg.RegisterCounter("push_failures_total",
+		"individual per-node push attempts that failed", extra, &g.pushFailures)
+	reg.RegisterCounter("push_downgrades_total",
+		"pushes downgraded to invalidation after retry exhaustion", extra, &g.pushDowngrades)
 }
 
 // String describes the group for diagnostics.

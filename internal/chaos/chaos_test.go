@@ -1,0 +1,68 @@
+package chaos
+
+import (
+	"bytes"
+	"testing"
+
+	"dupserve/internal/fault"
+)
+
+// TestTournamentHoldsInvariantsAndReproduces runs the tournament twice with
+// the same seed: both runs must hold every invariant (no lost transactions,
+// no stale pages, no residual SLO violations) and print byte-identical
+// reports.
+func TestTournamentHoldsInvariantsAndReproduces(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tournament")
+	}
+	run := func() (*Result, string) {
+		var buf bytes.Buffer
+		res, err := Run(Config{Seed: 1, Out: &buf})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, buf.String()
+	}
+	res1, out1 := run()
+	if !res1.OK {
+		t.Fatalf("tournament failed:\n%s", out1)
+	}
+	if res1.LostTransactions != 0 || res1.StalePages != 0 || res1.ResidualViolations != 0 {
+		t.Fatalf("invariants: lost=%d stale=%d residual=%d",
+			res1.LostTransactions, res1.StalePages, res1.ResidualViolations)
+	}
+	if len(res1.Rounds) != 5 {
+		t.Fatalf("rounds = %d", len(res1.Rounds))
+	}
+
+	// The tournament must actually inject faults — a silently disarmed
+	// injector would pass the invariants vacuously. Crash injection is
+	// probabilistic (rate 0.4 over few batch identities), so it is not
+	// asserted here.
+	for _, k := range []fault.Kind{fault.KindReplication, fault.KindPush,
+		fault.KindRender, fault.KindNode} {
+		if res1.Injected[k] == 0 {
+			t.Fatalf("no %s faults injected", k)
+		}
+	}
+
+	_, out2 := run()
+	if out1 != out2 {
+		t.Fatalf("same-seed runs diverged:\n--- run1\n%s--- run2\n%s", out1, out2)
+	}
+}
+
+// TestDistinctSeedsStillConverge: the invariants hold regardless of which
+// identities the seed faults.
+func TestDistinctSeedsStillConverge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tournament")
+	}
+	res, err := Run(Config{Seed: 7, Rounds: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK {
+		t.Fatalf("seed 7 tournament failed: %+v", res)
+	}
+}

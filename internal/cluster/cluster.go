@@ -104,6 +104,26 @@ type Config struct {
 	// Statics is installed on every node's server (the Welcome/Venues/Fun
 	// sections served from the filesystem).
 	Statics map[string][]byte
+	// GroupOptions are applied to the complex's cache group (push hooks,
+	// retry policy — the fault-injection seams).
+	GroupOptions []cache.GroupOption
+	// DispatcherOptions are applied to the complex's dispatcher.
+	DispatcherOptions []dispatch.Option
+}
+
+// Option adjusts a Config before the complex is built.
+type Option func(*Config)
+
+// WithGroupOptions appends options for the complex's cache group — the
+// seam through which fault injectors arm per-node push failures and retry
+// policies.
+func WithGroupOptions(opts ...cache.GroupOption) Option {
+	return func(c *Config) { c.GroupOptions = append(c.GroupOptions, opts...) }
+}
+
+// WithDispatcherOptions appends options for the complex's dispatcher.
+func WithDispatcherOptions(opts ...dispatch.Option) Option {
+	return func(c *Config) { c.DispatcherOptions = append(c.DispatcherOptions, opts...) }
 }
 
 // Complex is one geographic serving site: frames of nodes behind a Network
@@ -122,7 +142,10 @@ type Complex struct {
 // NewComplex builds a complex per cfg: Frames x NodesPerFrame serving
 // nodes, each with its own cache registered in Caches, all pooled behind
 // one dispatcher named after the complex.
-func NewComplex(cfg Config) *Complex {
+func NewComplex(cfg Config, opts ...Option) *Complex {
+	for _, o := range opts {
+		o(&cfg)
+	}
 	if cfg.Frames <= 0 {
 		cfg.Frames = 1
 	}
@@ -131,7 +154,7 @@ func NewComplex(cfg Config) *Complex {
 	}
 	cx := &Complex{
 		name:   cfg.Name,
-		Caches: cache.NewGroup(),
+		Caches: cache.NewGroup(cfg.GroupOptions...),
 		nodes:  make(map[string]*Node),
 	}
 	var poolNodes []dispatch.Node
@@ -152,7 +175,9 @@ func NewComplex(cfg Config) *Complex {
 		}
 		cx.Frames = append(cx.Frames, frame)
 	}
-	cx.Dispatcher = dispatch.New(cfg.Name, poolNodes)
+	cx.Dispatcher = dispatch.New(
+		dispatch.Config{Name: cfg.Name, Nodes: poolNodes},
+		cfg.DispatcherOptions...)
 	return cx
 }
 

@@ -71,8 +71,10 @@ func (p Policy) String() string {
 	}
 }
 
-// Store is where DUP applies its remedies. *SingleCache and *GroupStore
-// adapt the two cache flavours.
+// Store is where DUP applies its remedies. It is the single shared
+// contract of the propagation pipeline: *cache.Cache and *cache.Group
+// implement it directly (Apply* methods), and decorators such as
+// fault.FlakyStore wrap any Store with injected failure behaviour.
 type Store interface {
 	// ApplyPut installs a freshly generated object.
 	ApplyPut(obj *cache.Object)
@@ -85,6 +87,9 @@ type Store interface {
 }
 
 // SingleCache adapts one *cache.Cache to the Store interface.
+//
+// Deprecated: *cache.Cache implements Store directly; pass the cache
+// itself. Kept as a thin wrapper so existing callers compile.
 type SingleCache struct{ C *cache.Cache }
 
 // ApplyPut implements Store.
@@ -105,6 +110,9 @@ func (s SingleCache) ApplyInvalidatePrefix(prefix string) int {
 
 // GroupStore adapts a *cache.Group (the per-complex broadcast distributor)
 // to the Store interface.
+//
+// Deprecated: *cache.Group implements Store directly; pass the group
+// itself. Kept as a thin wrapper so existing callers compile.
 type GroupStore struct{ G *cache.Group }
 
 // ApplyPut implements Store.

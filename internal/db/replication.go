@@ -17,13 +17,16 @@ import (
 // the US east-coast sites) is just a Replicator whose master is itself a
 // replica.
 type Replicator struct {
-	master  *DB
-	replica *DB
-	delay   func(Transaction) time.Duration
-	sleep   func(time.Duration)
+	master      *DB
+	replica     *DB
+	delay       func(Transaction) time.Duration
+	sleep       func(time.Duration)
+	partitioned func() bool
 
-	cancel func()
-	done   chan struct{}
+	cancel   func()
+	done     chan struct{}
+	quit     chan struct{}
+	quitOnce sync.Once
 
 	mu      sync.Mutex
 	applied int64
@@ -50,6 +53,16 @@ func WithSleep(f func(time.Duration)) ReplOption {
 	return func(r *Replicator) { r.sleep = f }
 }
 
+// WithPartitionCheck installs a link-partition predicate (fault injection).
+// While it reports true, the replicator holds delivery — committed
+// transactions queue on the master's feed and retained log — and resumes
+// shipping in order once the partition heals. Nothing is lost: a partition
+// delays propagation, exactly like the paper's WAN hiccups between Nagano
+// and the US complexes.
+func WithPartitionCheck(f func() bool) ReplOption {
+	return func(r *Replicator) { r.partitioned = f }
+}
+
 // StartReplication begins shipping master's log to replica and returns the
 // running Replicator. The caller must Stop it to release the feed.
 func StartReplication(master, replica *DB, opts ...ReplOption) *Replicator {
@@ -59,6 +72,7 @@ func StartReplication(master, replica *DB, opts ...ReplOption) *Replicator {
 		delay:   func(Transaction) time.Duration { return 0 },
 		sleep:   time.Sleep,
 		done:    make(chan struct{}),
+		quit:    make(chan struct{}),
 	}
 	for _, o := range opts {
 		o(r)
@@ -71,22 +85,44 @@ func StartReplication(master, replica *DB, opts ...ReplOption) *Replicator {
 		// Catch up from the retained log first. Transactions that race onto
 		// the feed during catch-up are filtered below by LSN.
 		for _, tx := range master.LogSince(replica.LSN()) {
-			if d := r.delay(tx); d > 0 {
-				r.sleep(d)
+			if !r.ship(tx) {
+				return
 			}
-			r.apply(tx)
 		}
 		for tx := range feed {
 			if tx.LSN <= replica.LSN() {
 				continue // already applied during catch-up
 			}
-			if d := r.delay(tx); d > 0 {
-				r.sleep(d)
+			if !r.ship(tx) {
+				return
 			}
-			r.apply(tx)
 		}
 	}()
 	return r
+}
+
+// ship delivers one transaction to the replica, holding first while the
+// link is partitioned. Returns false when the replicator should stop
+// (Stop was called mid-hold, or the replica rejected the transaction).
+func (r *Replicator) ship(tx Transaction) bool {
+	for r.partitioned != nil && r.partitioned() {
+		select {
+		case <-r.quit:
+			return false
+		default:
+		}
+		// Poll on the wall clock (not r.sleep, which tests may stub to a
+		// no-op) so a partition hold never becomes a busy spin.
+		time.Sleep(200 * time.Microsecond)
+	}
+	if d := r.delay(tx); d > 0 {
+		r.sleep(d)
+	}
+	r.apply(tx)
+	r.mu.Lock()
+	stopped := r.stopped
+	r.mu.Unlock()
+	return !stopped
 }
 
 func (r *Replicator) apply(tx Transaction) {
@@ -118,8 +154,10 @@ func (r *Replicator) Applied() int64 {
 }
 
 // Stop unsubscribes from the master and waits for the shipping goroutine to
-// drain. Safe to call multiple times.
+// drain. Safe to call multiple times. A replicator held by a partition
+// check stops promptly without waiting for the partition to heal.
 func (r *Replicator) Stop() {
+	r.quitOnce.Do(func() { close(r.quit) })
 	r.cancel()
 	<-r.done
 }

@@ -13,9 +13,19 @@
 // regenerates and redistributes its own pages. This is the component a
 // downstream user would actually deploy; cmd/olympicsd and the
 // examples/globalgames example run on it.
+//
+// Deployment follows the uniform component lifecycle: New constructs the
+// entire topology cold, Start(ctx) brings up replication and the trigger
+// monitors, Shutdown(ctx) drains them. Started monitors are supervised:
+// if one crashes (organically or via an injected fault), the deployment
+// restarts it from its LastLSN checkpoint, and the replacement replays the
+// replica's retained log from there — the paper's trigger-monitor restart
+// story, with the "no committed transaction is ever dropped" invariant
+// made testable.
 package deploy
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -25,10 +35,13 @@ import (
 	"dupserve/internal/cluster"
 	"dupserve/internal/core"
 	"dupserve/internal/db"
+	"dupserve/internal/fault"
 	"dupserve/internal/httpserver"
 	"dupserve/internal/odg"
 	"dupserve/internal/routing"
 	"dupserve/internal/site"
+	"dupserve/internal/stats"
+	"dupserve/internal/trace"
 	"dupserve/internal/trigger"
 )
 
@@ -82,15 +95,42 @@ func NaganoConfig(spec site.Spec) Config {
 
 // Complex is one deployed serving site with its full local pipeline.
 type Complex struct {
-	Name       string
+	Name string
+	// Link names this complex's inbound replication link
+	// ("master->tokyo"); fault injectors partition links by this name.
+	Link       string
 	Replica    *db.DB
-	Replicator *db.Replicator
+	Replicator *db.Replicator // nil until the deployment is started
 	Graph      *odg.Graph
 	Engine     *core.Engine
-	Monitor    *trigger.Monitor
 	Site       *site.Site
 	Cluster    *cluster.Complex
+	// Tracer records end-to-end propagation traces for this complex when
+	// the deployment was built WithTracing; nil otherwise. It survives
+	// monitor restarts, so freshness history spans crashes.
+	Tracer *trace.Tracer
+
+	spec ComplexSpec
+	feed *db.DB
+
+	mu         sync.Mutex
+	mon        *trigger.Monitor
+	generation int
+	restarts   stats.Counter
 }
+
+// Monitor returns the complex's current trigger monitor (nil before the
+// deployment is started). The instance changes when supervision restarts a
+// crashed monitor, so callers should re-fetch rather than hold it.
+func (cx *Complex) Monitor() *trigger.Monitor {
+	cx.mu.Lock()
+	defer cx.mu.Unlock()
+	return cx.mon
+}
+
+// MonitorRestarts returns how many times supervision has restarted this
+// complex's trigger monitor.
+func (cx *Complex) MonitorRestarts() int64 { return cx.restarts.Value() }
 
 // lateStore defers the cache-group binding so the engine can be built
 // before the cluster that owns the caches.
@@ -113,25 +153,26 @@ func (s *lateStore) group() *cache.Group {
 
 func (s *lateStore) ApplyPut(obj *cache.Object) {
 	if g := s.group(); g != nil {
-		g.BroadcastPut(obj)
+		g.ApplyPut(obj)
 	}
 }
 
 func (s *lateStore) ApplyInvalidate(key cache.Key) int {
 	if g := s.group(); g != nil {
-		return g.BroadcastInvalidate(key)
+		return g.ApplyInvalidate(key)
 	}
 	return 0
 }
 
 func (s *lateStore) ApplyInvalidatePrefix(prefix string) int {
 	if g := s.group(); g != nil {
-		return g.BroadcastInvalidatePrefix(prefix)
+		return g.ApplyInvalidatePrefix(prefix)
 	}
 	return 0
 }
 
-// Deployment is the running system.
+// Deployment is the assembled system. New builds it cold; Start brings up
+// replication, trigger monitors, and monitor supervision.
 type Deployment struct {
 	Master *db.DB
 	// MasterSite is the write-side site bound to the master database:
@@ -141,11 +182,51 @@ type Deployment struct {
 
 	complexes map[string]*Complex
 	order     []string
+
+	batchWindow time.Duration
+	inj         *fault.Injector
+	retry       *cache.RetryPolicy
+	tracing     bool
+	tracingSLO  time.Duration
+
+	lifeMu   sync.Mutex
+	started  bool
+	stopping bool
+	baseCtx  context.Context
+
+	restarts stats.Counter // monitor restarts across all complexes
 }
 
-// New assembles and starts a deployment. Call Prime before serving, and
-// Stop to shut down the monitors and replicators.
-func New(cfg Config) (*Deployment, error) {
+// Option configures a Deployment at construction time.
+type Option func(*Deployment)
+
+// WithFaults threads a fault injector through every layer of the
+// deployment: per-node push failures in each complex's cache group, render
+// faults in each engine's generator, crash hooks on every trigger monitor
+// (supervision restarts them from checkpoint), and partition checks on
+// every replication link (named by Complex.Link).
+func WithFaults(inj *fault.Injector) Option {
+	return func(d *Deployment) { d.inj = inj }
+}
+
+// WithRetryPolicy sets the push retry/backoff policy of every complex's
+// cache group (how hard broadcasts fight a failing node before downgrading
+// the push to an invalidation).
+func WithRetryPolicy(p cache.RetryPolicy) Option {
+	return func(d *Deployment) { d.retry = &p }
+}
+
+// WithTracing gives every complex a propagation tracer with the given
+// freshness SLO (the paper's number is 60s; chaos tests use a tight one).
+// Tracers persist across monitor restarts.
+func WithTracing(slo time.Duration) Option {
+	return func(d *Deployment) { d.tracing = true; d.tracingSLO = slo }
+}
+
+// New assembles a deployment cold: databases, graphs, engines, clusters,
+// routing. Nothing moves until Start. Call Prime before serving, and
+// Shutdown to drain.
+func New(cfg Config, opts ...Option) (*Deployment, error) {
 	if len(cfg.Complexes) == 0 {
 		return nil, errors.New("deploy: no complexes configured")
 	}
@@ -160,9 +241,13 @@ func New(cfg Config) (*Deployment, error) {
 	}
 
 	d := &Deployment{
-		Master:    db.New("master"),
-		Router:    routing.NewRouter(routing.NumAddresses),
-		complexes: make(map[string]*Complex),
+		Master:      db.New("master"),
+		Router:      routing.NewRouter(routing.NumAddresses),
+		complexes:   make(map[string]*Complex),
+		batchWindow: cfg.BatchWindow,
+	}
+	for _, o := range opts {
+		o(d)
 	}
 	masterSite, err := site.Build(cfg.Spec, d.Master, nil)
 	if err != nil {
@@ -172,17 +257,17 @@ func New(cfg Config) (*Deployment, error) {
 
 	for _, cs := range cfg.Complexes {
 		feed := d.Master
+		feedName := "master"
 		if cs.ChainFrom != "" {
 			up, ok := d.complexes[cs.ChainFrom]
 			if !ok {
-				d.Stop()
 				return nil, fmt.Errorf("deploy: %s chains from unknown complex %q", cs.Name, cs.ChainFrom)
 			}
 			feed = up.Replica
+			feedName = cs.ChainFrom
 		}
-		cx, err := newComplex(cs, cfg, feed)
+		cx, err := d.newComplex(cs, cfg, feed, feedName)
 		if err != nil {
-			d.Stop()
 			return nil, err
 		}
 		d.complexes[cs.Name] = cx
@@ -190,20 +275,22 @@ func New(cfg Config) (*Deployment, error) {
 		d.Router.AddComplex(cs.Name, cx.Cluster, cs.Distance)
 	}
 	if err := d.Router.AdvertiseSpread(d.order, cfg.PrimaryCost, cfg.SecondaryCost); err != nil {
-		d.Stop()
 		return nil, err
 	}
 	return d, nil
 }
 
-func newComplex(cs ComplexSpec, cfg Config, feed *db.DB) (*Complex, error) {
+func (d *Deployment) newComplex(cs ComplexSpec, cfg Config, feed *db.DB, feedName string) (*Complex, error) {
 	replica := db.New(cs.Name)
 	graph := odg.New()
 	store := &lateStore{}
 
 	var csite *site.Site
-	gen := func(key cache.Key, version int64) (*cache.Object, error) {
+	gen := core.Generator(func(key cache.Key, version int64) (*cache.Object, error) {
 		return csite.Engine.Generate(key, version)
+	})
+	if d.inj != nil {
+		gen = d.inj.Generator(cs.Name, gen)
 	}
 	opts := []core.Option{core.WithGenerator(gen)}
 	if cfg.RenderWorkers > 1 {
@@ -215,6 +302,13 @@ func newComplex(cs ComplexSpec, cfg Config, feed *db.DB) (*Complex, error) {
 	if err != nil {
 		return nil, err
 	}
+	var groupOpts []cache.GroupOption
+	if d.inj != nil {
+		groupOpts = append(groupOpts, cache.WithPutHook(d.inj.PushHook(cs.Name)))
+	}
+	if d.retry != nil {
+		groupOpts = append(groupOpts, cache.WithRetryPolicy(*d.retry))
+	}
 	cl := cluster.NewComplex(cluster.Config{
 		Name:          cs.Name,
 		Frames:        cs.Frames,
@@ -222,24 +316,167 @@ func newComplex(cs ComplexSpec, cfg Config, feed *db.DB) (*Complex, error) {
 		Generator:     gen,
 		Version:       replica.LSN,
 		Statics:       csite.Statics(),
+		GroupOptions:  groupOpts,
 	})
 	store.set(cl.Caches)
 
-	repl := db.StartReplication(feed, replica, db.WithDelay(cs.ReplicationDelay))
-	mon := trigger.Start(replica, engine,
-		trigger.WithIndexer(csite.Indexer),
-		trigger.WithBatchWindow(cfg.BatchWindow))
+	cx := &Complex{
+		Name:    cs.Name,
+		Link:    feedName + "->" + cs.Name,
+		Replica: replica,
+		Graph:   graph,
+		Engine:  engine,
+		Site:    csite,
+		Cluster: cl,
+		spec:    cs,
+		feed:    feed,
+	}
+	if d.tracing {
+		var topts []trace.Option
+		if d.tracingSLO > 0 {
+			topts = append(topts, trace.WithSLO(d.tracingSLO))
+		}
+		cx.Tracer = trace.New(topts...)
+	}
+	return cx, nil
+}
 
-	return &Complex{
-		Name:       cs.Name,
-		Replica:    replica,
-		Replicator: repl,
-		Graph:      graph,
-		Engine:     engine,
-		Monitor:    mon,
-		Site:       csite,
-		Cluster:    cl,
-	}, nil
+// Start brings the deployment up: replication begins shipping (with
+// fault-injection partition checks when configured), and every complex's
+// trigger monitor starts and is supervised — a crashed monitor is
+// restarted from its LastLSN checkpoint. Cancelling ctx initiates the same
+// orderly drain as Shutdown.
+func (d *Deployment) Start(ctx context.Context) error {
+	d.lifeMu.Lock()
+	if d.started {
+		d.lifeMu.Unlock()
+		return errors.New("deploy: already started")
+	}
+	d.started = true
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	d.baseCtx = ctx
+	d.lifeMu.Unlock()
+
+	for _, name := range d.order {
+		cx := d.complexes[name]
+		replOpts := []db.ReplOption{db.WithDelay(cx.spec.ReplicationDelay)}
+		if d.inj != nil {
+			replOpts = append(replOpts, db.WithPartitionCheck(d.inj.PartitionCheck(cx.Link)))
+		}
+		cx.Replicator = db.StartReplication(cx.feed, cx.Replica, replOpts...)
+		if err := d.startMonitor(cx, 0); err != nil {
+			_ = d.Shutdown(context.Background())
+			return err
+		}
+	}
+	if ctx.Done() != nil {
+		go func() {
+			<-ctx.Done()
+			_ = d.Shutdown(context.Background())
+		}()
+	}
+	return nil
+}
+
+// startMonitor launches generation gen of cx's trigger monitor, resuming
+// from the previous generation's checkpoint.
+func (d *Deployment) startMonitor(cx *Complex, gen int) error {
+	cx.mu.Lock()
+	var checkpoint int64
+	if cx.mon != nil {
+		checkpoint = cx.mon.Checkpoint()
+	}
+	cx.mu.Unlock()
+
+	opts := []trigger.Option{
+		trigger.WithIndexer(cx.Site.Indexer),
+		trigger.WithBatchWindow(d.batchWindow),
+	}
+	if cx.Tracer != nil {
+		opts = append(opts, trigger.WithTracer(cx.Tracer))
+	}
+	if d.inj != nil {
+		opts = append(opts, trigger.WithCrashHook(d.inj.CrashHook(cx.Name, gen)))
+		opts = append(opts, trigger.WithOnCrash(func(error) { d.superviseRestart(cx) }))
+	}
+	mon := trigger.New(trigger.Config{
+		Name:     cx.Name,
+		DB:       cx.Replica,
+		Engine:   cx.Engine,
+		StartLSN: checkpoint,
+	}, opts...)
+	if err := mon.Start(d.baseCtx); err != nil {
+		return err
+	}
+	cx.mu.Lock()
+	cx.mon = mon
+	cx.generation = gen
+	cx.mu.Unlock()
+	return nil
+}
+
+// superviseRestart replaces a crashed monitor with a fresh generation
+// started from the crashed one's checkpoint. Runs on the dying monitor's
+// goroutine, after it has fully stopped.
+func (d *Deployment) superviseRestart(cx *Complex) {
+	d.lifeMu.Lock()
+	stopping := d.stopping
+	d.lifeMu.Unlock()
+	if stopping {
+		return
+	}
+	cx.restarts.Inc()
+	d.restarts.Inc()
+	cx.mu.Lock()
+	gen := cx.generation + 1
+	cx.mu.Unlock()
+	// Checkpoint replay makes the error unrecoverable only if it repeats
+	// every generation; the crash hook folds the generation into the fault
+	// identity, so injected crashes do not.
+	_ = d.startMonitor(cx, gen)
+}
+
+// Shutdown drains the deployment: every trigger monitor finishes its final
+// propagation (bounded by ctx), supervision stands down, and replication
+// stops. Safe to call more than once and on never-started deployments.
+func (d *Deployment) Shutdown(ctx context.Context) error {
+	d.lifeMu.Lock()
+	d.stopping = true
+	d.lifeMu.Unlock()
+	var first error
+	for _, cx := range d.complexes {
+		if mon := cx.Monitor(); mon != nil {
+			if err := mon.Shutdown(ctx); err != nil && first == nil {
+				first = err
+			}
+		}
+		if cx.Replicator != nil {
+			cx.Replicator.Stop()
+		}
+	}
+	return first
+}
+
+// Stop shuts down every trigger monitor and replicator.
+//
+// Deprecated: use Shutdown, which bounds the drain with a context.
+func (d *Deployment) Stop() { _ = d.Shutdown(context.Background()) }
+
+// MonitorRestarts returns how many monitor restarts supervision has
+// performed across all complexes.
+func (d *Deployment) MonitorRestarts() int64 { return d.restarts.Value() }
+
+// RegisterMetrics publishes deployment-level recovery metrics: the
+// monitor_restarts_total family, labeled per complex.
+func (d *Deployment) RegisterMetrics(reg *stats.Registry) {
+	for _, name := range d.order {
+		cx := d.complexes[name]
+		reg.RegisterCounter("monitor_restarts_total",
+			"trigger monitors restarted from checkpoint by supervision",
+			stats.Labels{"complex": name}, &cx.restarts)
+	}
 }
 
 // Complex returns a deployed complex by name.
@@ -283,7 +520,8 @@ func (d *Deployment) Prime(timeout time.Duration) error {
 // transaction the master had committed at call time, or the timeout
 // elapses. It reports whether full freshness was reached — the paper's
 // "updated pages ... available to the rest of the world within seconds",
-// made observable.
+// made observable. Freshness converges even across monitor crashes: the
+// supervised replacement replays from checkpoint and catches up.
 func (d *Deployment) WaitFresh(timeout time.Duration) bool {
 	target := d.Master.LSN()
 	deadline := time.Now().Add(timeout)
@@ -294,8 +532,13 @@ func (d *Deployment) WaitFresh(timeout time.Duration) bool {
 				fresh = false
 				break
 			}
-			cx.Monitor.Flush()
-			if cx.Monitor.LastLSN() < target {
+			mon := cx.Monitor()
+			if mon == nil {
+				fresh = false
+				break
+			}
+			mon.Flush()
+			if mon.LastLSN() < target {
 				fresh = false
 				break
 			}
@@ -366,17 +609,4 @@ func (d *Deployment) RecoverComplex(name string) error {
 		return fmt.Errorf("deploy: rewarm %s: %w", name, err)
 	}
 	return nil
-}
-
-// Stop shuts down every trigger monitor and replicator. Safe to call more
-// than once and on partially constructed deployments.
-func (d *Deployment) Stop() {
-	for _, cx := range d.complexes {
-		if cx.Monitor != nil {
-			cx.Monitor.Stop()
-		}
-		if cx.Replicator != nil {
-			cx.Replicator.Stop()
-		}
-	}
 }

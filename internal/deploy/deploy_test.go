@@ -1,6 +1,7 @@
 package deploy
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -28,6 +29,9 @@ func newDeployment(t *testing.T) *Deployment {
 	cfg.BatchWindow = 2 * time.Millisecond
 	d, err := New(cfg)
 	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Start(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(d.Stop)
@@ -211,6 +215,9 @@ func TestRenderWorkersDeployment(t *testing.T) {
 	cfg.BatchWindow = 2 * time.Millisecond
 	d, err := New(cfg)
 	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Start(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	defer d.Stop()

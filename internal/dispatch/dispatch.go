@@ -15,6 +15,7 @@
 package dispatch
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -64,15 +65,18 @@ func (m *member) load() float64 {
 }
 
 // Dispatcher forwards requests across a pool of nodes. Safe for concurrent
-// use.
+// use. Serve works as soon as New returns; Start is only needed when
+// background advisors are wanted (Config.ProbeInterval > 0).
 type Dispatcher struct {
-	name       string
-	probe      Probe
-	maxRetries int
+	name          string
+	probe         Probe
+	maxRetries    int
+	probeInterval time.Duration
 
 	mu      sync.Mutex
 	members []*member
 	rr      int // round-robin tiebreak cursor
+	started bool
 
 	forwarded stats.Counter
 	failovers stats.Counter
@@ -97,21 +101,79 @@ func WithMaxRetries(n int) Option {
 	return func(d *Dispatcher) { d.maxRetries = n }
 }
 
-// New returns a dispatcher over the given nodes, all initially up.
-func New(name string, nodes []Node, opts ...Option) *Dispatcher {
+// Config describes a Dispatcher.
+type Config struct {
+	// Name appears in diagnostics and error messages.
+	Name string
+	// Nodes seeds the pool, all initially up with weight 1. Add/AddWeighted
+	// extend it later.
+	Nodes []Node
+	// ProbeInterval, when positive, makes Start launch a background advisor
+	// loop probing the pool at this interval. Zero leaves health management
+	// to explicit CheckNow / MarkDown calls (the simulator's mode).
+	ProbeInterval time.Duration
+}
+
+// New returns a dispatcher over cfg. The pool serves immediately; call
+// Start to launch background advisors when Config.ProbeInterval is set.
+func New(cfg Config, opts ...Option) *Dispatcher {
 	d := &Dispatcher{
-		name:       name,
-		probe:      DefaultProbe,
-		maxRetries: -1,
-		stopCh:     make(chan struct{}),
+		name:          cfg.Name,
+		probe:         DefaultProbe,
+		maxRetries:    -1,
+		probeInterval: cfg.ProbeInterval,
+		stopCh:        make(chan struct{}),
 	}
 	for _, o := range opts {
 		o(d)
 	}
-	for _, n := range nodes {
+	for _, n := range cfg.Nodes {
 		d.members = append(d.members, &member{node: n, weight: 1, up: true})
 	}
 	return d
+}
+
+// NewPool returns a dispatcher over the given nodes, all initially up.
+//
+// Deprecated: use New(Config{Name: name, Nodes: nodes}, opts...).
+func NewPool(name string, nodes []Node, opts ...Option) *Dispatcher {
+	return New(Config{Name: name, Nodes: nodes}, opts...)
+}
+
+// Start implements the uniform component lifecycle: if the dispatcher was
+// configured with a probe interval, it launches the advisor loop (otherwise
+// it only arms shutdown). Cancelling ctx initiates the same teardown as
+// Shutdown. Start may be called once.
+func (d *Dispatcher) Start(ctx context.Context) error {
+	d.mu.Lock()
+	if d.started {
+		d.mu.Unlock()
+		return fmt.Errorf("dispatch: %q already started", d.name)
+	}
+	d.started = true
+	d.mu.Unlock()
+	if d.probeInterval > 0 {
+		d.StartAdvisors(d.probeInterval)
+	}
+	if ctx != nil && ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				d.Stop()
+			case <-d.stopCh:
+			}
+		}()
+	}
+	return nil
+}
+
+// Shutdown terminates advisor loops and waits for them to exit. The drain
+// is immediate (advisors hold no work), so ctx is accepted only to satisfy
+// the uniform lifecycle contract. Safe to call more than once and before
+// Start.
+func (d *Dispatcher) Shutdown(ctx context.Context) error {
+	d.Stop()
+	return nil
 }
 
 // Name implements Node.
@@ -308,6 +370,8 @@ func (d *Dispatcher) StartAdvisors(interval time.Duration) {
 
 // Stop terminates advisor loops. Safe to call multiple times, and a no-op
 // if StartAdvisors was never called.
+//
+// Deprecated: use Shutdown.
 func (d *Dispatcher) Stop() {
 	d.stopOnce.Do(func() { close(d.stopCh) })
 	d.wg.Wait()

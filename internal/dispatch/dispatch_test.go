@@ -46,7 +46,7 @@ func nodes(n int) ([]Node, []*fakeNode) {
 
 func TestForwardDistributesAcrossPool(t *testing.T) {
 	ns, fs := nodes(4)
-	d := New("nd", ns)
+	d := New(Config{Name: "nd", Nodes: ns})
 	for i := 0; i < 400; i++ {
 		if _, _, err := d.Serve("/p"); err != nil {
 			t.Fatal(err)
@@ -66,7 +66,7 @@ func TestLeastOutstandingPreferred(t *testing.T) {
 	// Node up0 is wedged mid-request; new traffic must flow to up1.
 	f0 := &fakeNode{name: "up0", slow: make(chan struct{})}
 	f1 := &fakeNode{name: "up1"}
-	d := New("nd", []Node{f0, f1})
+	d := New(Config{Name: "nd", Nodes: []Node{f0, f1}})
 
 	var wg sync.WaitGroup
 	wg.Add(1)
@@ -105,7 +105,7 @@ func TestLeastOutstandingPreferred(t *testing.T) {
 func TestFailoverOnServeError(t *testing.T) {
 	ns, fs := nodes(3)
 	fs[0].failing.Store(true)
-	d := New("nd", ns)
+	d := New(Config{Name: "nd", Nodes: ns})
 	for i := 0; i < 30; i++ {
 		obj, _, err := d.Serve("/p")
 		if err != nil {
@@ -137,7 +137,7 @@ func TestAllNodesDown(t *testing.T) {
 	for _, f := range fs {
 		f.failing.Store(true)
 	}
-	d := New("nd", ns)
+	d := New(Config{Name: "nd", Nodes: ns})
 	_, _, err := d.Serve("/p")
 	if !errors.Is(err, ErrNoBackends) {
 		t.Fatalf("err = %v, want ErrNoBackends", err)
@@ -148,7 +148,7 @@ func TestAllNodesDown(t *testing.T) {
 }
 
 func TestEmptyPool(t *testing.T) {
-	d := New("nd", nil)
+	d := New(Config{Name: "nd"})
 	if _, _, err := d.Serve("/p"); !errors.Is(err, ErrNoBackends) {
 		t.Fatalf("err = %v", err)
 	}
@@ -156,7 +156,7 @@ func TestEmptyPool(t *testing.T) {
 
 func TestMarkDownAndUp(t *testing.T) {
 	ns, fs := nodes(2)
-	d := New("nd", ns)
+	d := New(Config{Name: "nd", Nodes: ns})
 	if !d.MarkDown("up0") {
 		t.Fatal("MarkDown failed")
 	}
@@ -181,7 +181,7 @@ func TestMarkDownAndUp(t *testing.T) {
 }
 
 func TestAddRemove(t *testing.T) {
-	d := New("nd", nil)
+	d := New(Config{Name: "nd"})
 	f := &fakeNode{name: "late"}
 	d.Add(f)
 	if _, _, err := d.Serve("/p"); err != nil {
@@ -200,7 +200,7 @@ func TestAddRemove(t *testing.T) {
 
 func TestAdvisorsRestoreRecoveredNode(t *testing.T) {
 	ns, fs := nodes(2)
-	d := New("nd", ns)
+	d := New(Config{Name: "nd", Nodes: ns})
 	fs[0].failing.Store(true)
 	if got := d.CheckNow(); got != 1 {
 		t.Fatalf("CheckNow = %d, want 1", got)
@@ -219,7 +219,7 @@ func TestAdvisorsRestoreRecoveredNode(t *testing.T) {
 
 func TestStartAdvisorsBackground(t *testing.T) {
 	ns, fs := nodes(1)
-	d := New("nd", ns)
+	d := New(Config{Name: "nd", Nodes: ns})
 	fs[0].failing.Store(true)
 	d.StartAdvisors(2 * time.Millisecond)
 	defer d.Stop()
@@ -234,7 +234,7 @@ func TestStartAdvisorsBackground(t *testing.T) {
 }
 
 func TestStopIdempotent(t *testing.T) {
-	d := New("nd", nil)
+	d := New(Config{Name: "nd"})
 	d.Stop()
 	d.Stop()
 }
@@ -244,9 +244,9 @@ func TestDispatchersCompose(t *testing.T) {
 	// dispatcher routes across complexes (simplified Figure 19).
 	nsA, fsA := nodes(2)
 	nsB, _ := nodes(2)
-	complexA := New("complexA", nsA)
-	complexB := New("complexB", nsB)
-	top := New("geo", []Node{complexA, complexB})
+	complexA := New(Config{Name: "complexA", Nodes: nsA})
+	complexB := New(Config{Name: "complexB", Nodes: nsB})
+	top := New(Config{Name: "geo", Nodes: []Node{complexA, complexB}})
 
 	for i := 0; i < 40; i++ {
 		if _, _, err := top.Serve("/p"); err != nil {
@@ -272,7 +272,7 @@ func TestMaxRetriesBounds(t *testing.T) {
 	for _, f := range fs {
 		f.failing.Store(true)
 	}
-	d := New("nd", ns, WithMaxRetries(2))
+	d := New(Config{Name: "nd", Nodes: ns}, WithMaxRetries(2))
 	_, _, err := d.Serve("/p")
 	if err == nil {
 		t.Fatal("expected failure")
@@ -292,7 +292,7 @@ func TestNotFoundIsNotAFailure(t *testing.T) {
 	nf := nodeFunc{name: "nf", fn: func(path string) (*cache.Object, httpserver.Outcome, error) {
 		return nil, httpserver.OutcomeNotFound, fmt.Errorf("%w: %q", httpserver.ErrNoRoute, path)
 	}}
-	d2 := New("nd2", []Node{nf})
+	d2 := New(Config{Name: "nd2", Nodes: []Node{nf}})
 	_, outcome, _ := d2.Serve("/ghost")
 	if outcome != httpserver.OutcomeNotFound {
 		t.Fatalf("outcome = %v", outcome)
@@ -314,7 +314,7 @@ func (n nodeFunc) Serve(path string) (*cache.Object, httpserver.Outcome, error) 
 
 func TestConcurrentServeAndFailure(t *testing.T) {
 	ns, fs := nodes(4)
-	d := New("nd", ns)
+	d := New(Config{Name: "nd", Nodes: ns})
 	var wg sync.WaitGroup
 	stop := make(chan struct{})
 	wg.Add(1)
@@ -357,7 +357,7 @@ func TestConcurrentServeAndFailure(t *testing.T) {
 
 func BenchmarkDispatchForward(b *testing.B) {
 	ns, _ := nodes(8)
-	d := New("nd", ns)
+	d := New(Config{Name: "nd", Nodes: ns})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := d.Serve("/p"); err != nil {
@@ -373,7 +373,7 @@ func TestWeightedDistribution(t *testing.T) {
 	// requests open.
 	smp := &fakeNode{name: "smp", slow: make(chan struct{})}
 	up := &fakeNode{name: "up", slow: make(chan struct{})}
-	d := New("nd", nil)
+	d := New(Config{Name: "nd"})
 	d.AddWeighted(smp, 4)
 	d.AddWeighted(up, 1)
 
@@ -421,7 +421,7 @@ func TestWeightedDistribution(t *testing.T) {
 }
 
 func TestAddWeightedClampsToOne(t *testing.T) {
-	d := New("nd", nil)
+	d := New(Config{Name: "nd"})
 	d.AddWeighted(&fakeNode{name: "n"}, 0)
 	if w := d.Stats().Nodes[0].Weight; w != 1 {
 		t.Fatalf("weight = %d, want clamped to 1", w)

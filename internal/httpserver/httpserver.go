@@ -15,11 +15,14 @@
 package httpserver
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"dupserve/internal/cache"
 	"dupserve/internal/core"
@@ -64,6 +67,11 @@ func (o Outcome) String() string {
 // a generator.
 var ErrNoRoute = errors.New("httpserver: no route")
 
+// ErrDraining is returned by Serve once Shutdown has begun: the node
+// rejects new work (so the dispatcher's advisors pull it from the
+// distribution list) while in-flight requests finish.
+var ErrDraining = errors.New("httpserver: node draining")
+
 // VersionFunc reports the current data version (database LSN) so that pages
 // generated on miss carry an accurate freshness stamp.
 type VersionFunc func() int64
@@ -80,6 +88,11 @@ type Server struct {
 
 	mu     sync.RWMutex
 	static map[string]*cache.Object
+
+	// Lifecycle: the zero state is "running" so a Server works without
+	// Start (the simulator constructs thousands and never drains them).
+	draining atomic.Bool
+	inflight atomic.Int64
 
 	requests stats.Counter
 	hits     stats.Counter
@@ -156,10 +169,49 @@ func (s *Server) SetStatic(path string, body []byte, contentType string) {
 	s.static[path] = &cache.Object{Key: cache.Key(path), Value: body, ContentType: contentType}
 }
 
+// Start implements the uniform component lifecycle. A Server is passive —
+// it holds no goroutines — so Start only clears any prior draining state,
+// returning the node to service.
+func (s *Server) Start(ctx context.Context) error {
+	s.draining.Store(false)
+	return nil
+}
+
+// Shutdown drains the node: new requests are rejected with ErrDraining
+// (which the dispatcher treats as a node failure, pulling this node from
+// the pool) while requests already in flight run to completion. ctx bounds
+// the wait for in-flight work.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	for s.inflight.Load() > 0 {
+		if ctx != nil {
+			select {
+			case <-ctx.Done():
+				return fmt.Errorf("httpserver: drain of %q: %w", s.name, ctx.Err())
+			default:
+			}
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+	return nil
+}
+
+// Draining reports whether the node is refusing new work.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
 // Serve satisfies one request for path, returning the object and how it was
 // satisfied. This is the transport-independent core used by both ServeHTTP
 // and the simulator.
 func (s *Server) Serve(path string) (*cache.Object, Outcome, error) {
+	// Count in-flight before checking draining: Shutdown sets draining then
+	// waits for inflight to hit zero, so this ordering guarantees it never
+	// returns while a request that passed the check is still running.
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	if s.draining.Load() {
+		s.errs.Inc()
+		return nil, OutcomeError, fmt.Errorf("%w: %q", ErrDraining, s.name)
+	}
 	s.requests.Inc()
 
 	s.mu.RLock()

@@ -1,0 +1,134 @@
+package httpserver
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"dupserve/internal/cache"
+)
+
+func drainServer(opts ...Option) *Server {
+	c := cache.New("n0")
+	c.Put(&cache.Object{Key: "/p", Value: []byte("body"), Version: 1})
+	gen := func(key cache.Key, version int64) (*cache.Object, error) {
+		return &cache.Object{Key: key, Value: []byte("gen"), Version: version}, nil
+	}
+	return New("n0", c, gen, func() int64 { return 1 }, opts...)
+}
+
+func TestServeRejectsWhileDraining(t *testing.T) {
+	s := drainServer()
+	ctx := context.Background()
+	if err := s.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, outcome, err := s.Serve("/p"); err != nil || outcome != OutcomeHit {
+		t.Fatalf("healthy serve = %v %v", outcome, err)
+	}
+
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Draining() {
+		t.Fatal("not draining after Shutdown")
+	}
+	_, outcome, err := s.Serve("/p")
+	if !errors.Is(err, ErrDraining) {
+		t.Fatalf("drained serve err = %v, want ErrDraining", err)
+	}
+	if outcome != OutcomeError {
+		t.Fatalf("drained outcome = %v, want error", outcome)
+	}
+	st := s.Stats()
+	if st.Errors == 0 {
+		t.Fatal("rejection not counted as an error")
+	}
+
+	// Restart clears the drain.
+	if err := s.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, outcome, err := s.Serve("/p"); err != nil || outcome != OutcomeHit {
+		t.Fatalf("post-restart serve = %v %v", outcome, err)
+	}
+}
+
+func TestShutdownWaitsForInflightRequests(t *testing.T) {
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	s := drainServer(WithOverhead(func() {
+		close(entered)
+		<-release
+	}))
+	ctx := context.Background()
+	if err := s.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	served := make(chan error, 1)
+	go func() {
+		_, _, err := s.Serve("/p")
+		served <- err
+	}()
+	<-entered // the request is now in flight
+
+	shut := make(chan error, 1)
+	go func() { shut <- s.Shutdown(ctx) }()
+
+	// Shutdown must not complete while the request is still being served.
+	select {
+	case err := <-shut:
+		t.Fatalf("Shutdown returned (%v) with a request in flight", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	close(release)
+	if err := <-served; err != nil {
+		t.Fatalf("in-flight request failed: %v", err)
+	}
+	select {
+	case err := <-shut:
+		if err != nil {
+			t.Fatalf("Shutdown = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Shutdown hung after the request finished")
+	}
+}
+
+func TestShutdownBoundedByContext(t *testing.T) {
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	s := drainServer(WithOverhead(func() {
+		close(entered)
+		<-release
+	}))
+	if err := s.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	go func() { _, _, _ = s.Serve("/p") }()
+	<-entered
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := s.Shutdown(ctx); err == nil {
+		t.Fatal("Shutdown ignored its context deadline")
+	}
+	close(release)
+}
+
+func TestShutdownIdempotent(t *testing.T) {
+	s := drainServer()
+	ctx := context.Background()
+	if err := s.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+}

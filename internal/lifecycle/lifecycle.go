@@ -1,0 +1,69 @@
+// Package lifecycle defines the uniform start/stop contract shared by the
+// long-running components of the pipeline: the trigger monitor, the
+// deployment, the dispatcher, and the serving nodes.
+//
+// The pre-redesign components each invented their own lifecycle — Stop()
+// here, Flush() there, a constructor that also started goroutines — which
+// made it impossible to thread cancellation or drain-on-shutdown through
+// uniformly, and impossible for a supervisor to restart a crashed
+// component generically. The contract is deliberately minimal:
+//
+//   - Start(ctx) begins background work; cancelling ctx initiates the same
+//     orderly drain as Shutdown. Starting a component twice is an error.
+//   - Shutdown(ctx) stops intake, drains in-flight work, and releases
+//     goroutines; ctx bounds how long the drain may take. Shutdown is
+//     idempotent.
+package lifecycle
+
+import "context"
+
+// Component is anything with the uniform Start/Shutdown lifecycle.
+type Component interface {
+	// Start begins the component's background work. Cancelling ctx
+	// initiates an orderly shutdown.
+	Start(ctx context.Context) error
+	// Shutdown stops intake and drains in-flight work; ctx bounds the
+	// drain. Safe to call more than once.
+	Shutdown(ctx context.Context) error
+}
+
+// Group starts components in order and shuts them down in reverse order —
+// the usual dependency discipline (start upstream feeds before the
+// consumers that drain them, stop consumers first).
+type Group struct {
+	components []Component
+}
+
+// NewGroup returns a Group over the given components in start order.
+func NewGroup(components ...Component) *Group {
+	return &Group{components: components}
+}
+
+// Add appends a component to the start order.
+func (g *Group) Add(c Component) { g.components = append(g.components, c) }
+
+// Start starts every component in order. On the first error, components
+// already started are shut down (best effort) and the error is returned.
+func (g *Group) Start(ctx context.Context) error {
+	for i, c := range g.components {
+		if err := c.Start(ctx); err != nil {
+			for j := i - 1; j >= 0; j-- {
+				_ = g.components[j].Shutdown(ctx)
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// Shutdown shuts every component down in reverse start order, returning
+// the first error encountered (but attempting every component regardless).
+func (g *Group) Shutdown(ctx context.Context) error {
+	var first error
+	for i := len(g.components) - 1; i >= 0; i-- {
+		if err := g.components[i].Shutdown(ctx); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

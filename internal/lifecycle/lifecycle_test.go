@@ -1,0 +1,101 @@
+package lifecycle
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// fake records lifecycle calls in a shared journal so ordering is testable.
+type fake struct {
+	name     string
+	journal  *[]string
+	startErr error
+	shutErr  error
+}
+
+func (f *fake) Start(ctx context.Context) error {
+	*f.journal = append(*f.journal, "start:"+f.name)
+	return f.startErr
+}
+
+func (f *fake) Shutdown(ctx context.Context) error {
+	*f.journal = append(*f.journal, "shutdown:"+f.name)
+	return f.shutErr
+}
+
+func TestGroupStartsInOrderShutsDownInReverse(t *testing.T) {
+	var journal []string
+	g := NewGroup()
+	g.Add(&fake{name: "a", journal: &journal})
+	g.Add(&fake{name: "b", journal: &journal})
+	g.Add(&fake{name: "c", journal: &journal})
+
+	ctx := context.Background()
+	if err := g.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"start:a", "start:b", "start:c", "shutdown:c", "shutdown:b", "shutdown:a"}
+	if len(journal) != len(want) {
+		t.Fatalf("journal = %v", journal)
+	}
+	for i := range want {
+		if journal[i] != want[i] {
+			t.Fatalf("journal[%d] = %s, want %s (%v)", i, journal[i], want[i], journal)
+		}
+	}
+}
+
+func TestGroupStartFailureRollsBackStartedComponents(t *testing.T) {
+	var journal []string
+	boom := errors.New("boom")
+	g := NewGroup()
+	g.Add(&fake{name: "a", journal: &journal})
+	g.Add(&fake{name: "b", journal: &journal, startErr: boom})
+	g.Add(&fake{name: "c", journal: &journal})
+
+	err := g.Start(context.Background())
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	// a started and must be rolled back; c never starts.
+	want := []string{"start:a", "start:b", "shutdown:a"}
+	if len(journal) != len(want) {
+		t.Fatalf("journal = %v, want %v", journal, want)
+	}
+	for i := range want {
+		if journal[i] != want[i] {
+			t.Fatalf("journal = %v, want %v", journal, want)
+		}
+	}
+}
+
+func TestGroupShutdownReturnsFirstErrorButVisitsAll(t *testing.T) {
+	var journal []string
+	boom := errors.New("boom")
+	g := NewGroup()
+	g.Add(&fake{name: "a", journal: &journal})
+	g.Add(&fake{name: "b", journal: &journal, shutErr: boom})
+	g.Add(&fake{name: "c", journal: &journal})
+
+	ctx := context.Background()
+	if err := g.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Shutdown(ctx); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	// All three shut down despite b's error.
+	shutdowns := 0
+	for _, e := range journal {
+		if e == "shutdown:a" || e == "shutdown:b" || e == "shutdown:c" {
+			shutdowns++
+		}
+	}
+	if shutdowns != 3 {
+		t.Fatalf("shutdowns = %d (%v)", shutdowns, journal)
+	}
+}

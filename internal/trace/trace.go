@@ -165,7 +165,7 @@ type Tracer struct {
 
 	recorded   stats.Counter
 	violations stats.Counter
-	lastMicro stats.Gauge // most recent commit->push latency, µs; Max() is worst ever
+	lastMicro  stats.Gauge // most recent commit->push latency, µs; Max() is worst ever
 }
 
 // Option configures a Tracer.

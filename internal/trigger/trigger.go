@@ -11,12 +11,23 @@
 // hands the batch to the DUP engine, which re-renders affected pages and
 // distributes them to the serving caches.
 //
+// Availability: the monitor checkpoints the highest LSN it has propagated
+// (LastLSN). If it crashes — organically or via an injected fault hook — a
+// supervisor restarts it with Config.StartLSN set to the checkpoint, and
+// Start replays the database's retained log from there before consuming
+// the live feed, so no committed transaction is ever dropped. The paper's
+// freshness guarantee survives the restart: pages are at worst delayed,
+// never lost.
+//
 // Freshness — the paper's "reflecting current events within a maximum of
 // sixty seconds" — is measured per transaction as commit-to-propagated
 // latency and exposed via Stats.
 package trigger
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"sync"
 	"time"
 
@@ -38,9 +49,43 @@ func DefaultIndexer(c db.Change) []odg.NodeID {
 	return []odg.NodeID{odg.NodeID(c.ChangeID())}
 }
 
-// Monitor consumes a CDC feed and drives a DUP engine. Create with Start;
-// release with Stop.
+// CrashHook decides, per batch about to propagate, whether the monitor
+// crashes instead (fault injection). lsn is the batch's highest LSN. A
+// crash drops the batch unpropagated, exactly like a process death between
+// CDC consumption and propagation; recovery replays it from the log.
+type CrashHook func(lsn int64) bool
+
+// ErrCrashed is wrapped by the error a crashed monitor reports from Err.
+var ErrCrashed = errors.New("trigger: monitor crashed")
+
+// Config describes a Monitor. DB and Engine are required; everything else
+// has working defaults.
+type Config struct {
+	// Name appears in diagnostics and fault identities ("tokyo").
+	Name string
+	// DB is the database whose CDC feed the monitor consumes.
+	DB *db.DB
+	// Engine is the DUP engine propagations are handed to.
+	Engine *core.Engine
+	// StartLSN is the recovery checkpoint: Start replays the database's
+	// retained log for every transaction with LSN > StartLSN before
+	// consuming the live feed. Zero starts from the live feed only (plus
+	// any log the database retains, which for a fresh monitor is the
+	// correct "everything so far already propagated by someone" choice of
+	// StartLSN = DB.LSN(); pass that explicitly when taking over).
+	StartLSN int64
+	// BatchSize propagates as soon as a batch holds this many transactions
+	// (default 16).
+	BatchSize int
+	// BatchWindow propagates a partial batch after this much quiet
+	// (default 50ms). Zero disables batching.
+	BatchWindow time.Duration
+}
+
+// Monitor consumes a CDC feed and drives a DUP engine. Create with New,
+// begin with Start, release with Shutdown.
 type Monitor struct {
+	name        string
 	engine      *core.Engine
 	indexer     Indexer
 	batchSize   int
@@ -48,23 +93,30 @@ type Monitor struct {
 	now         func() time.Time
 
 	database   *db.DB
+	startLSN   int64
 	feed       <-chan db.Transaction
 	cancelFeed func()
 	flushC     chan chan struct{}
 	done       chan struct{}
 
-	tracer *trace.Tracer
+	tracer    *trace.Tracer
+	crashHook CrashHook
+	onCrash   func(err error)
 
 	batches     stats.Counter
 	txs         stats.Counter
 	updated     stats.Counter
 	invalidated stats.Counter
+	replayed    stats.Counter    // transactions recovered from the log at Start
+	crashes     stats.Counter    // injected/organic crashes of this monitor
 	latency     stats.Summary    // commit -> propagated, seconds
 	batchSizes  *stats.Histogram // transactions per propagated batch
 	batchWait   *stats.Histogram // arrival of first tx -> flush, seconds
 
 	mu      sync.Mutex
 	lastLSN int64
+	started bool
+	err     error
 }
 
 // pendingTx is a CDC transaction waiting in the monitor's batch, stamped
@@ -110,31 +162,134 @@ func WithTracer(t *trace.Tracer) Option {
 	return func(m *Monitor) { m.tracer = t }
 }
 
-// Start subscribes to database's feed and begins propagating into engine.
-func Start(database *db.DB, engine *core.Engine, opts ...Option) *Monitor {
+// WithCrashHook installs a fault-injection crash decision consulted once
+// per batch, before propagation.
+func WithCrashHook(h CrashHook) Option {
+	return func(m *Monitor) { m.crashHook = h }
+}
+
+// WithOnCrash installs a supervisor callback invoked (on the monitor's
+// goroutine, after the monitor has fully stopped) when the monitor
+// crashes. The callback typically restarts a fresh monitor from
+// Checkpoint().
+func WithOnCrash(f func(err error)) Option {
+	return func(m *Monitor) { m.onCrash = f }
+}
+
+// New returns an unstarted Monitor over cfg. Call Start to begin
+// propagating.
+func New(cfg Config, opts ...Option) *Monitor {
 	m := &Monitor{
-		database:    database,
-		engine:      engine,
+		name:        cfg.Name,
+		database:    cfg.DB,
+		engine:      cfg.Engine,
+		startLSN:    cfg.StartLSN,
 		indexer:     DefaultIndexer,
 		batchSize:   16,
 		batchWindow: 50 * time.Millisecond,
 		now:         time.Now,
 		flushC:      make(chan chan struct{}),
 		done:        make(chan struct{}),
+		lastLSN:     cfg.StartLSN,
 		batchSizes:  stats.NewHistogram(1, 2, 4, 8, 16, 32, 64, 128, 256),
 		batchWait: stats.NewHistogram(0.0001, 0.00025, 0.0005, 0.001, 0.0025,
 			0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5),
 	}
+	if cfg.BatchSize > 0 {
+		m.batchSize = cfg.BatchSize
+	}
+	if cfg.BatchWindow != 0 {
+		m.batchWindow = cfg.BatchWindow
+	}
 	for _, o := range opts {
 		o(m)
 	}
-	m.feed, m.cancelFeed = database.Subscribe(256)
-	go m.loop()
 	return m
 }
 
-func (m *Monitor) loop() {
+// Name returns the monitor's diagnostic name.
+func (m *Monitor) Name() string { return m.name }
+
+// Start subscribes to the database's CDC feed, replays the retained log
+// from the checkpoint (Config.StartLSN), and begins propagating.
+// Cancelling ctx initiates the same orderly drain as Shutdown. Start may
+// be called once per Monitor.
+func (m *Monitor) Start(ctx context.Context) error {
+	if m.database == nil || m.engine == nil {
+		return errors.New("trigger: Config.DB and Config.Engine are required")
+	}
+	m.mu.Lock()
+	if m.started {
+		m.mu.Unlock()
+		return errors.New("trigger: monitor already started")
+	}
+	m.started = true
+	m.mu.Unlock()
+
+	// Subscribe first, then snapshot the log: a transaction committed
+	// between the two appears in both and is deduplicated by LSN in loop.
+	m.feed, m.cancelFeed = m.database.Subscribe(256)
+	replay := m.database.LogSince(m.startLSN)
+	go m.loop(replay)
+	if ctx != nil && ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				m.cancelFeed()
+			case <-m.done:
+			}
+		}()
+	}
+	return nil
+}
+
+// Shutdown cancels the feed subscription, waits for the final propagation
+// to drain, and returns. ctx bounds the drain. Safe to call more than
+// once and before Start.
+func (m *Monitor) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	started := m.started
+	m.mu.Unlock()
+	if !started {
+		return nil
+	}
+	m.cancelFeed()
+	if ctx == nil {
+		<-m.done
+		return nil
+	}
+	select {
+	case <-m.done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("trigger: shutdown of %q: %w", m.name, ctx.Err())
+	}
+}
+
+// Start subscribes to database's feed and begins propagating into engine.
+//
+// Deprecated: use New(Config{DB: database, Engine: engine}, opts...)
+// followed by (*Monitor).Start(ctx), which adds checkpoint replay and
+// context cancellation. Kept so existing callers compile.
+func Start(database *db.DB, engine *core.Engine, opts ...Option) *Monitor {
+	m := New(Config{DB: database, Engine: engine}, opts...)
+	if err := m.Start(context.Background()); err != nil {
+		panic(err) // unreachable: DB and Engine are non-nil, not started
+	}
+	return m
+}
+
+// loop is the monitor goroutine: replay the checkpointed log, then batch
+// and propagate the live feed.
+func (m *Monitor) loop(replay []db.Transaction) {
+	var crashed bool
+	defer func() {
+		if crashed && m.onCrash != nil {
+			m.onCrash(m.Err())
+		}
+	}()
 	defer close(m.done)
+
 	var pending []pendingTx
 	var timer *time.Timer
 	var timerC <-chan time.Time
@@ -153,13 +308,31 @@ func (m *Monitor) loop() {
 		}
 		pending = append(pending, pendingTx{tx: tx, arrived: arrived})
 	}
-	propagate := func() {
+	propagate := func() bool {
 		stopTimer()
 		if len(pending) == 0 {
+			return true
+		}
+		ok := m.propagate(pending)
+		pending = pending[:0]
+		return ok
+	}
+
+	// Recovery replay: everything the database retains past the
+	// checkpoint propagates as one batch before live consumption. A crash
+	// hook can fire here too — a monitor that crashes during recovery
+	// recovers again from the same checkpoint.
+	var replayMax int64
+	if len(replay) > 0 {
+		for _, tx := range replay {
+			admit(tx)
+		}
+		replayMax = replay[len(replay)-1].LSN
+		m.replayed.Add(int64(len(replay)))
+		if !propagate() {
+			crashed = true
 			return
 		}
-		m.propagate(pending)
-		pending = pending[:0]
 	}
 
 	for {
@@ -169,9 +342,15 @@ func (m *Monitor) loop() {
 				propagate()
 				return
 			}
+			if tx.LSN <= replayMax {
+				continue // already recovered from the log
+			}
 			admit(tx)
 			if m.batchWindow <= 0 || len(pending) >= m.batchSize {
-				propagate()
+				if !propagate() {
+					crashed = true
+					return
+				}
 			} else if timerC == nil {
 				timer = time.NewTimer(m.batchWindow)
 				timerC = timer.C
@@ -179,7 +358,10 @@ func (m *Monitor) loop() {
 		case <-timerC:
 			timer = nil
 			timerC = nil
-			propagate()
+			if !propagate() {
+				crashed = true
+				return
+			}
 		case ack := <-m.flushC:
 			// Absorb anything already delivered on the feed, then
 			// propagate. Flush (below) re-issues the request until every
@@ -189,22 +371,41 @@ func (m *Monitor) loop() {
 				select {
 				case tx, ok := <-m.feed:
 					if ok {
-						admit(tx)
+						if tx.LSN > replayMax {
+							admit(tx)
+						}
 						continue
 					}
 				default:
 				}
 				break
 			}
-			propagate()
+			ok := propagate()
 			close(ack)
+			if !ok {
+				crashed = true
+				return
+			}
 		}
 	}
 }
 
+// crash records a crash at the given batch LSN and tears the monitor down
+// without propagating. Returns false for propagate's convenience.
+func (m *Monitor) crash(lsn int64) bool {
+	m.crashes.Inc()
+	m.mu.Lock()
+	m.err = fmt.Errorf("%w: %q at batch LSN %d (checkpoint %d)",
+		ErrCrashed, m.name, lsn, m.lastLSN)
+	m.mu.Unlock()
+	m.cancelFeed()
+	return false
+}
+
 // propagate maps a batch of transactions to changed vertices and runs one
-// DUP propagation stamped with the batch's highest LSN.
-func (m *Monitor) propagate(batch []pendingTx) {
+// DUP propagation stamped with the batch's highest LSN. Returns false if
+// the monitor crashed instead of propagating.
+func (m *Monitor) propagate(batch []pendingTx) bool {
 	flush := m.now()
 	seen := make(map[odg.NodeID]struct{})
 	var changed []odg.NodeID
@@ -221,6 +422,9 @@ func (m *Monitor) propagate(batch []pendingTx) {
 				}
 			}
 		}
+	}
+	if m.crashHook != nil && m.crashHook(maxLSN) {
+		return m.crash(maxLSN)
 	}
 	res := m.engine.OnChange(maxLSN, changed...)
 
@@ -263,6 +467,7 @@ func (m *Monitor) propagate(batch []pendingTx) {
 		m.lastLSN = maxLSN
 	}
 	m.mu.Unlock()
+	return true
 }
 
 // clampTime returns t, or limit if t is after it.
@@ -276,7 +481,7 @@ func clampTime(t, limit time.Time) time.Time {
 // Flush synchronously propagates everything committed before the call,
 // returning once those propagations have completed. Tests and the
 // simulator use it for deterministic sequencing. If the monitor has been
-// stopped, Flush returns immediately.
+// stopped or has crashed, Flush returns immediately.
 func (m *Monitor) Flush() {
 	target := m.database.LSN()
 	for {
@@ -298,17 +503,33 @@ func (m *Monitor) Flush() {
 
 // Stop cancels the feed subscription and waits for the final propagation.
 // Safe to call more than once.
-func (m *Monitor) Stop() {
-	m.cancelFeed()
-	<-m.done
-}
+//
+// Deprecated: use Shutdown, which bounds the drain with a context.
+func (m *Monitor) Stop() { _ = m.Shutdown(context.Background()) }
 
-// LastLSN returns the highest LSN the monitor has propagated.
+// LastLSN returns the highest LSN the monitor has propagated — its
+// recovery checkpoint.
 func (m *Monitor) LastLSN() int64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.lastLSN
 }
+
+// Checkpoint is LastLSN under its recovery-protocol name: the LSN a
+// replacement monitor should be configured with (Config.StartLSN) so that
+// replay covers exactly the transactions this monitor never propagated.
+func (m *Monitor) Checkpoint() int64 { return m.LastLSN() }
+
+// Err returns the crash error, or nil while the monitor is healthy.
+func (m *Monitor) Err() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.err
+}
+
+// Done returns a channel closed when the monitor's goroutine has exited
+// (shutdown or crash).
+func (m *Monitor) Done() <-chan struct{} { return m.done }
 
 // MonitorStats snapshots the monitor's counters.
 type MonitorStats struct {
@@ -316,6 +537,11 @@ type MonitorStats struct {
 	Transactions  int64
 	PagesUpdated  int64
 	Invalidations int64
+	// Replayed counts transactions recovered from the retained log at
+	// Start (checkpoint replay after a crash).
+	Replayed int64
+	// Crashes counts monitor crashes (injected or organic).
+	Crashes int64
 	// Freshness latency, seconds, commit -> propagated.
 	LatencyMean float64
 	LatencyP99  float64
@@ -329,6 +555,8 @@ func (m *Monitor) Stats() MonitorStats {
 		Transactions:  m.txs.Value(),
 		PagesUpdated:  m.updated.Value(),
 		Invalidations: m.invalidated.Value(),
+		Replayed:      m.replayed.Value(),
+		Crashes:       m.crashes.Value(),
 		LatencyMean:   m.latency.Mean(),
 		LatencyP99:    m.latency.Percentile(99),
 		LatencyMax:    m.latency.Max(),
@@ -352,6 +580,10 @@ func (m *Monitor) RegisterMetrics(reg *stats.Registry, labels stats.Labels) {
 		"pages updated in place by trigger-driven propagations", labels, &m.updated)
 	reg.RegisterCounter("trigger_invalidations_total",
 		"pages invalidated by trigger-driven propagations", labels, &m.invalidated)
+	reg.RegisterCounter("trigger_replayed_transactions_total",
+		"transactions recovered from the retained log at monitor start", labels, &m.replayed)
+	reg.RegisterCounter("trigger_crashes_total",
+		"trigger monitor crashes (injected or organic)", labels, &m.crashes)
 	reg.RegisterHistogram("trigger_batch_size_transactions",
 		"transactions coalesced per batch", labels, m.batchSizes)
 	reg.RegisterHistogram("trigger_batch_wait_seconds",
