@@ -2,11 +2,12 @@ GO ?= go
 
 # Packages with lock-free hot paths where a data race would corrupt the
 # observability layer itself, plus the fault-injection and recovery layer
-# whose whole point is concurrent crash/restart; check runs them under the
-# race detector.
-RACE_PKGS = ./internal/stats ./internal/trace ./internal/trigger ./internal/core ./internal/cache ./internal/db ./internal/fault ./internal/deploy
+# whose whole point is concurrent crash/restart, plus the overload/admission
+# path (limiter, degradation serving) which is exercised by many goroutines
+# at once; check runs them under the race detector.
+RACE_PKGS = ./internal/stats ./internal/trace ./internal/trigger ./internal/core ./internal/cache ./internal/db ./internal/fault ./internal/deploy ./internal/overload ./internal/httpserver
 
-.PHONY: all build test race check chaos bench run
+.PHONY: all build test race check chaos bench bench-overload run
 
 all: check
 
@@ -19,11 +20,18 @@ test:
 race:
 	$(GO) test -race $(RACE_PKGS)
 
-# chaos runs the deterministic fault-injection tournament: every fault kind
+# chaos runs the deterministic fault-injection tournament (every fault kind
 # against a live deployment, asserting zero lost transactions, zero stale
-# pages, and zero residual freshness-SLO violations.
+# pages, and zero residual freshness-SLO violations) followed by the 5:1
+# overload scenario (hits always admitted, staleness bounded by budget,
+# sheds bounded, full reconvergence).
 chaos:
 	$(GO) run ./cmd/simulate -chaos -seed 1
+
+# bench-overload records serve-path throughput, p50/p99 latency, and
+# hit/stale/shed rates at 1x, 3x, and 5x of estimated render capacity.
+bench-overload:
+	$(GO) run ./cmd/simulate -overload-bench BENCH_overload.json -seed 1
 
 # check is the tier-1 gate: everything builds, vets clean, every test
 # passes, the propagation pipeline is race-clean, and the chaos tournament

@@ -27,8 +27,18 @@
 // push failure, render error, node death), commits transactions through
 // the window, clears the fault, and asserts convergence: zero lost
 // transactions, zero stale pages, zero residual freshness-SLO violations.
-// Output is deterministic for a given seed; the process exits non-zero if
-// any invariant breaks.
+// After the rounds, the overload scenario runs: a synthetic request flood
+// at 5x estimated capacity asserting hits are always admitted, degraded
+// responses never exceed the staleness budget, refusals stay bounded, and
+// the plant reconverges and re-advertises. Output is deterministic for a
+// given seed; the process exits non-zero if any invariant breaks.
+//
+// The overload scenario can also run alone, and there is a benchmark mode
+// that records throughput, p50/p99 latency, and shed/stale rates at 1x,
+// 3x, and 5x of capacity as JSON:
+//
+//	simulate -overload -seed 1
+//	simulate -overload-bench BENCH_overload.json
 //
 // Traffic runs at a configurable fraction of the paper's 634.7M hits
 // (default 1/1000); printed hit figures are rescaled back to paper volume
@@ -65,17 +75,52 @@ func main() {
 	small := flag.Bool("small", false, "use a small site (fast; for smoke runs)")
 	verbose := flag.Bool("v", false, "per-day progress")
 	csvDir := flag.String("csv", "", "also write each figure's series as CSV into this directory")
-	chaosMode := flag.Bool("chaos", false, "run the fault-injection tournament instead of the simulation")
+	chaosMode := flag.Bool("chaos", false, "run the fault-injection tournament (plus the overload scenario) instead of the simulation")
 	rounds := flag.Int("rounds", 5, "fault rounds for -chaos")
+	overloadMode := flag.Bool("overload", false, "run only the 5:1 overload scenario")
+	overloadBench := flag.String("overload-bench", "", "write the 1x/3x/5x overload benchmark as JSON to this file")
 	flag.Parse()
 
-	if *chaosMode {
-		res, err := chaos.Run(chaos.Config{Seed: *seed, Rounds: *rounds, Out: os.Stdout})
+	if *overloadBench != "" {
+		rep, err := chaos.BenchOverload(chaos.OverloadConfig{Seed: *seed})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "chaos:", err)
+			fmt.Fprintln(os.Stderr, "overload-bench:", err)
 			os.Exit(1)
 		}
-		if !res.OK {
+		f, err := os.Create(*overloadBench)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "overload-bench:", err)
+			os.Exit(1)
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			fmt.Fprintln(os.Stderr, "overload-bench:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "overload-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "overload benchmark written to %s\n", *overloadBench)
+		return
+	}
+
+	if *chaosMode || *overloadMode {
+		ok := true
+		if *chaosMode {
+			res, err := chaos.Run(chaos.Config{Seed: *seed, Rounds: *rounds, Out: os.Stdout})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "chaos:", err)
+				os.Exit(1)
+			}
+			ok = ok && res.OK
+		}
+		ores, err := chaos.RunOverload(chaos.OverloadConfig{Seed: *seed, Out: os.Stdout})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "overload:", err)
+			os.Exit(1)
+		}
+		ok = ok && ores.OK
+		if !ok {
 			os.Exit(1)
 		}
 		return

@@ -55,6 +55,14 @@ type entry struct {
 	hits int64
 }
 
+// staleEntry is an invalidated object retained for bounded-staleness
+// fallback: the value the cache held just before the invalidation, plus the
+// instant it stopped being fresh.
+type staleEntry struct {
+	obj   *Object
+	since time.Time
+}
+
 // Stats is a point-in-time snapshot of cache counters.
 type Stats struct {
 	Hits          int64
@@ -87,6 +95,12 @@ type Cache struct {
 	mu    sync.Mutex
 	items map[Key]*entry
 	lru   *list.List // front = most recently used; values are Key
+	// stale holds the last value of invalidated entries when stale
+	// retention is on, for overload fallback (GetStale). At most one copy
+	// per key; replaced entries and Clear drop it.
+	stale map[Key]*staleEntry
+	// retainStale enables the stale side-table.
+	retainStale bool
 
 	hits          stats.Counter
 	misses        stats.Counter
@@ -112,6 +126,16 @@ func WithClock(now func() time.Time) Option {
 	return func(c *Cache) { c.now = now }
 }
 
+// WithStaleRetention keeps the last value of every invalidated entry in a
+// stale side-table, so that an overloaded node can degrade to serving a
+// bounded-staleness copy (GetStale) instead of a 503. The stale copy never
+// satisfies Get — fresh-path semantics are unchanged — and it is dropped as
+// soon as a fresh Put arrives, the freshness budget expires, or the cache
+// is cleared (node death loses memory-resident state, stale or not).
+func WithStaleRetention() Option {
+	return func(c *Cache) { c.retainStale = true }
+}
+
 // New returns an empty cache. name appears in diagnostics only.
 func New(name string, opts ...Option) *Cache {
 	c := &Cache{
@@ -122,6 +146,9 @@ func New(name string, opts ...Option) *Cache {
 	}
 	for _, o := range opts {
 		o(c)
+	}
+	if c.retainStale {
+		c.stale = make(map[Key]*staleEntry)
 	}
 	return c
 }
@@ -202,6 +229,9 @@ func (c *Cache) Put(obj *Object) bool {
 		c.items[obj.Key] = &entry{obj: obj, el: el}
 		c.bytes.Add(obj.Size())
 	}
+	if c.retainStale {
+		delete(c.stale, obj.Key) // fresh value supersedes any retained copy
+	}
 	evicted := c.evictLocked()
 	c.mu.Unlock()
 
@@ -233,6 +263,8 @@ func (c *Cache) evictLocked() int {
 }
 
 // Invalidate removes key from the cache, returning true if it was present.
+// With stale retention on, the removed value stays reachable via GetStale
+// until a fresh Put or its freshness budget expires.
 func (c *Cache) Invalidate(key Key) bool {
 	c.mu.Lock()
 	e, ok := c.items[key]
@@ -240,12 +272,57 @@ func (c *Cache) Invalidate(key Key) bool {
 		c.lru.Remove(e.el)
 		delete(c.items, key)
 		c.bytes.Add(-e.obj.Size())
+		c.retainLocked(e.obj)
 	}
 	c.mu.Unlock()
 	if ok {
 		c.invalidations.Inc()
 	}
 	return ok
+}
+
+// retainLocked moves an invalidated object into the stale side-table when
+// retention is enabled. Caller holds mu. Repeated invalidations keep the
+// earliest since-time: the page has been continuously stale since the first
+// update it missed, and the freshness budget must count from there.
+func (c *Cache) retainLocked(obj *Object) {
+	if !c.retainStale {
+		return
+	}
+	if _, already := c.stale[obj.Key]; already {
+		return
+	}
+	c.stale[obj.Key] = &staleEntry{obj: obj, since: c.now()}
+}
+
+// GetStale returns the retained copy of an invalidated entry, provided it
+// went stale no longer than maxAge ago — the overload path's bounded
+// staleness budget. The second return is how stale the copy is. A retained
+// copy past the budget is dropped on the spot and never returned, so a
+// caller can never observe staleness beyond maxAge. GetStale touches
+// neither the hit/miss counters nor LRU order; fresh-path behaviour is
+// unchanged.
+func (c *Cache) GetStale(key Key, maxAge time.Duration) (*Object, time.Duration, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	se, ok := c.stale[key]
+	if !ok {
+		return nil, 0, false
+	}
+	age := c.now().Sub(se.since)
+	if age > maxAge {
+		delete(c.stale, key)
+		return nil, 0, false
+	}
+	return se.obj, age, true
+}
+
+// StaleLen returns the number of retained stale copies (0 when retention is
+// off).
+func (c *Cache) StaleLen() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.stale)
 }
 
 // InvalidatePrefix removes every key with the given prefix and returns the
@@ -265,6 +342,7 @@ func (c *Cache) InvalidatePrefix(prefix string) int {
 		c.lru.Remove(e.el)
 		delete(c.items, k)
 		c.bytes.Add(-e.obj.Size())
+		c.retainLocked(e.obj)
 	}
 	c.mu.Unlock()
 	c.invalidations.Add(int64(len(victims)))
@@ -290,12 +368,17 @@ func (c *Cache) ApplyInvalidatePrefix(prefix string) int {
 	return c.InvalidatePrefix(prefix)
 }
 
-// Clear removes every entry, counting them as invalidations.
+// Clear removes every entry, counting them as invalidations. Stale-retained
+// copies are dropped too: Clear models losing the node's memory-resident
+// state, and a rebooted node has nothing to degrade to.
 func (c *Cache) Clear() int {
 	c.mu.Lock()
 	n := len(c.items)
 	c.items = make(map[Key]*entry)
 	c.lru.Init()
+	if c.retainStale {
+		c.stale = make(map[Key]*staleEntry)
+	}
 	c.bytes.Add(-c.bytes.Value())
 	c.mu.Unlock()
 	c.invalidations.Add(int64(n))

@@ -1,0 +1,64 @@
+package chaos
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestOverloadScenarioHoldsInvariants runs the 5:1 overload scenario and
+// checks every invariant, including that the flood actually exercised the
+// degradation path (a flood with no misses and no stale serves would pass
+// the invariants vacuously).
+func TestOverloadScenarioHoldsInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("overload scenario")
+	}
+	var buf bytes.Buffer
+	res, err := RunOverload(OverloadConfig{Seed: 7, RequestsPerClient: 40, Out: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK {
+		t.Fatalf("overload scenario failed:\n%s", buf.String())
+	}
+	if res.Baseline.Shed != 0 || res.Baseline.Errors != 0 {
+		t.Fatalf("baseline not clean: %+v", res.Baseline)
+	}
+	if !res.HitAdmitted {
+		t.Fatal("a cached page was not served under total saturation")
+	}
+	if !res.StaleServed {
+		t.Fatal("an invalidated page was refused instead of degrading to stale")
+	}
+	if !res.Withdrawn || res.BlackHoled {
+		t.Fatalf("routing reaction: withdrawn=%t black_holed=%t", res.Withdrawn, res.BlackHoled)
+	}
+	if res.Flood.Errors != 0 {
+		t.Fatalf("flood produced %d hard errors", res.Flood.Errors)
+	}
+	if res.Flood.Misses == 0 && res.Flood.Stale == 0 {
+		t.Fatalf("flood never contended for renders: %+v", res.Flood)
+	}
+	if res.Flood.Shed*10 > res.Flood.Requests {
+		t.Fatalf("shed rate above 10%%: %+v", res.Flood)
+	}
+	if res.OverBudgetServers != 0 {
+		t.Fatalf("%d servers exceeded the staleness budget", res.OverBudgetServers)
+	}
+	if !res.Reconverged || !res.Restored || res.StalePages != 0 || res.ResidualViolations != 0 {
+		t.Fatalf("recovery: reconverged=%t restored=%t stale=%d residual=%d",
+			res.Reconverged, res.Restored, res.StalePages, res.ResidualViolations)
+	}
+
+	// Byte-reproducibility: the report prints only invariant quantities, so
+	// as long as the invariants hold it must equal this literal exactly.
+	want := "overload scenario: seed=7 capacity=6 clients surge=5x requests/client=40 stale_budget=1m0s\n" +
+		"phase baseline: requests=240 errors=0 sheds=0\n" +
+		"phase saturate: hit_admitted=true stale_served=true withdrawn=true black_holed=false\n" +
+		"phase flood: requests=1200 errors=0 shed_bounded=true over_budget_servers=0\n" +
+		"phase recover: reconverged=true restored=true stale_pages=0 residual_slo_violations=0\n" +
+		"overload: seed=7 ok=true\n"
+	if got := buf.String(); got != want {
+		t.Fatalf("report not reproducible:\n--- got\n%s--- want\n%s", got, want)
+	}
+}

@@ -1,0 +1,170 @@
+package chaos
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"dupserve/internal/routing"
+)
+
+// BenchPoint measures the serve path at one load multiplier.
+type BenchPoint struct {
+	// Multiplier of estimated capacity (1 = at capacity, 5 = the flood).
+	Multiplier int   `json:"multiplier"`
+	Clients    int   `json:"clients"`
+	Requests   int64 `json:"requests"`
+	// DurationSec is the wall-clock of the measured phase.
+	DurationSec float64 `json:"duration_sec"`
+	// ThroughputRPS counts every answered request (fresh or stale).
+	ThroughputRPS float64 `json:"throughput_rps"`
+	P50Millis     float64 `json:"p50_ms"`
+	P99Millis     float64 `json:"p99_ms"`
+	// HitRate/StaleRate/ShedRate partition the outcomes: admitted cache
+	// hits, bounded-staleness degradations, and client-visible refusals.
+	HitRate   float64 `json:"hit_rate"`
+	StaleRate float64 `json:"stale_rate"`
+	ShedRate  float64 `json:"shed_rate"`
+	ErrorRate float64 `json:"error_rate"`
+}
+
+// BenchReport is the serialized form of a BenchOverload run.
+type BenchReport struct {
+	Scenario          string       `json:"scenario"`
+	Seed              int64        `json:"seed"`
+	CapacityClients   int          `json:"capacity_clients"`
+	RequestsPerClient int          `json:"requests_per_client"`
+	StaleBudget       string       `json:"stale_budget"`
+	Points            []BenchPoint `json:"points"`
+}
+
+// BenchOverload measures throughput, latency percentiles, and outcome rates
+// at 1x, 3x, and 5x of estimated capacity on the overload plant, with
+// results committing throughout so renders and degradations are part of the
+// measured mix. Latency and throughput are wall-clock measurements — unlike
+// RunOverload's report they are not expected to reproduce byte-for-byte.
+func BenchOverload(cfg OverloadConfig) (*BenchReport, error) {
+	cfg = cfg.withDefaults(0)
+	d, err := overloadDeployment(cfg)
+	if err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults(capacity(d))
+	ctx := context.Background()
+	if err := d.Start(ctx); err != nil {
+		return nil, err
+	}
+	defer func() { _ = d.Shutdown(ctx) }()
+	if err := d.Prime(cfg.Timeout); err != nil {
+		return nil, err
+	}
+
+	events := d.MasterSite.Events
+	regions := []routing.Region{routing.RegionJapan, routing.RegionUS, routing.RegionEurope}
+	pages := floodPages(events)
+	rep := &BenchReport{
+		Scenario:          "overload",
+		Seed:              cfg.Seed,
+		CapacityClients:   cfg.Clients,
+		RequestsPerClient: cfg.RequestsPerClient,
+		StaleBudget:       cfg.StaleBudget.String(),
+	}
+
+	for _, mult := range []int{1, 3, 5} {
+		clients := cfg.Clients * mult
+
+		// Commit churn keeps the hot pages invalidated for the whole
+		// measured window; the advisor sweep runs alongside as it would in
+		// production.
+		stop := make(chan struct{})
+		var churn sync.WaitGroup
+		churn.Add(1)
+		go func(mult int) {
+			defer churn.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				case <-time.After(commitPace):
+					ev := events[i%len(events)]
+					_, _ = d.MasterSite.RecordPartial(ev,
+						ev.Participants[i%len(ev.Participants)], fmt.Sprintf("bench.%d.%d", mult, i))
+					d.AdviseLoad()
+				}
+			}
+		}(mult)
+
+		var wg sync.WaitGroup
+		var pc phaseCounters
+		lats := make([][]time.Duration, clients)
+		start := time.Now()
+		for i := 0; i < clients; i++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(cfg.Seed + int64(id)))
+				lats[id] = make([]time.Duration, 0, cfg.RequestsPerClient)
+				for r := 0; r < cfg.RequestsPerClient; r++ {
+					region := regions[(id+r)%len(regions)]
+					t0 := time.Now()
+					_, outcome, _, err := d.Serve(region, pages[rng.Intn(len(pages))])
+					lats[id] = append(lats[id], time.Since(t0))
+					pc.record(outcome, err)
+					time.Sleep(clientThink)
+				}
+			}(i)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		close(stop)
+		churn.Wait()
+
+		var all []time.Duration
+		for _, l := range lats {
+			all = append(all, l...)
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		st := pc.snapshot()
+		served := st.Requests - st.Shed - st.Errors
+		n := float64(st.Requests)
+		rep.Points = append(rep.Points, BenchPoint{
+			Multiplier:    mult,
+			Clients:       clients,
+			Requests:      st.Requests,
+			DurationSec:   elapsed.Seconds(),
+			ThroughputRPS: float64(served) / elapsed.Seconds(),
+			P50Millis:     percentile(all, 0.50).Seconds() * 1e3,
+			P99Millis:     percentile(all, 0.99).Seconds() * 1e3,
+			HitRate:       float64(st.Hits) / n,
+			StaleRate:     float64(st.Stale) / n,
+			ShedRate:      float64(st.Shed) / n,
+			ErrorRate:     float64(st.Errors) / n,
+		})
+
+		// Drain between points so each multiplier starts from a recovered
+		// plant: propagation catches up and withdrawn addresses return.
+		d.WaitFresh(cfg.Timeout)
+		d.AdviseLoad()
+	}
+	return rep, nil
+}
+
+// WriteJSON serializes the report, indented, to w.
+func (r *BenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}

@@ -62,8 +62,25 @@ func (n *Node) Fail() {
 // after a Fail until the trigger monitor redistributes pages).
 func (n *Node) Recover() { n.downed.Store(false) }
 
+// LoadSignal forwards the inner node's overload signal so the dispatcher's
+// load-aware selection sees through the kill-switch wrapper. A node without
+// one (or a downed node, which must not look busy — it looks dead) reports 0.
+func (n *Node) LoadSignal() float64 {
+	if n.downed.Load() {
+		return 0
+	}
+	if ls, ok := n.inner.(interface{ LoadSignal() float64 }); ok {
+		return ls.LoadSignal()
+	}
+	return 0
+}
+
 // Down reports whether the node is currently failed.
 func (n *Node) Down() bool { return n.downed.Load() }
+
+// Server returns the wrapped inner node (normally the *httpserver.Server),
+// so callers can reach per-server statistics through the kill-switch.
+func (n *Node) Server() dispatch.Node { return n.inner }
 
 // Frame is one SP2: a set of serving nodes that share a power boundary, so
 // frame failure takes all of them down at once.
@@ -101,6 +118,14 @@ type Config struct {
 	Version httpserver.VersionFunc
 	// ServerOptions are applied to every node's httpserver.
 	ServerOptions []httpserver.Option
+	// NodeOptions, when set, returns extra per-node httpserver options
+	// keyed by node name — the hook through which deploy gives each node
+	// its own overload limiter (a limiter is per-node state and must not
+	// be shared).
+	NodeOptions func(name string) []httpserver.Option
+	// CacheOptions are applied to every node's cache (e.g. stale retention
+	// for overload degradation).
+	CacheOptions []cache.Option
 	// Statics is installed on every node's server (the Welcome/Venues/Fun
 	// sections served from the filesystem).
 	Statics map[string][]byte
@@ -162,9 +187,13 @@ func NewComplex(cfg Config, opts ...Option) *Complex {
 		frame := &Frame{Name: fmt.Sprintf("%s-sp2-%d", cfg.Name, f)}
 		for u := 0; u < cfg.NodesPerFrame; u++ {
 			name := fmt.Sprintf("%s-up%d", frame.Name, u)
-			c := cache.New(name)
+			c := cache.New(name, cfg.CacheOptions...)
 			cx.Caches.Add(c)
-			srv := httpserver.New(name, c, cfg.Generator, cfg.Version, cfg.ServerOptions...)
+			srvOpts := cfg.ServerOptions
+			if cfg.NodeOptions != nil {
+				srvOpts = append(append([]httpserver.Option{}, srvOpts...), cfg.NodeOptions(name)...)
+			}
+			srv := httpserver.New(name, c, cfg.Generator, cfg.Version, srvOpts...)
 			for path, body := range cfg.Statics {
 				srv.SetStatic(path, body, "text/html; charset=utf-8")
 			}

@@ -38,6 +38,7 @@ import (
 	"dupserve/internal/fault"
 	"dupserve/internal/httpserver"
 	"dupserve/internal/odg"
+	"dupserve/internal/overload"
 	"dupserve/internal/routing"
 	"dupserve/internal/site"
 	"dupserve/internal/stats"
@@ -73,6 +74,18 @@ type Config struct {
 	// RenderWorkers regenerates affected pages concurrently within each
 	// complex's DUP engine (the paper's 8-way SMP). 0/1 = sequential.
 	RenderWorkers int
+	// Policy selects each engine's remedy for obsolete objects (default
+	// PolicyUpdateInPlace). Overload scenarios use PolicyInvalidate so cache
+	// misses — and therefore the admission limiter — actually see traffic.
+	Policy core.Policy
+	// MaxPending caps each trigger monitor's coalesced backlog (the
+	// backpressure high-water mark). 0 = the monitor's default.
+	MaxPending int
+	// RenderCost, when set, runs before every page render — a knob for
+	// modelling per-page generation work (e.g. httpserver.SpinOverhead).
+	// The overload scenario spins here so a request flood actually
+	// contends for render slots.
+	RenderCost func()
 }
 
 // NaganoConfig returns the paper's four-complex layout with chained US
@@ -184,10 +197,13 @@ type Deployment struct {
 	order     []string
 
 	batchWindow time.Duration
+	maxPending  int
 	inj         *fault.Injector
 	retry       *cache.RetryPolicy
 	tracing     bool
 	tracingSLO  time.Duration
+	overload    *overload.Config
+	staleBudget time.Duration
 
 	lifeMu   sync.Mutex
 	started  bool
@@ -223,6 +239,16 @@ func WithTracing(slo time.Duration) Option {
 	return func(d *Deployment) { d.tracing = true; d.tracingSLO = slo }
 }
 
+// WithOverload arms overload control on every serving node: each node gets
+// its OWN admission limiter built from cfg (a limiter is per-node state),
+// and every node cache retains invalidated entries so a shedding node can
+// degrade to a stale-but-bounded copy no older than staleBudget instead of
+// refusing outright. staleBudget <= 0 disables the stale fallback: shed
+// requests fail over or 503 immediately.
+func WithOverload(cfg overload.Config, staleBudget time.Duration) Option {
+	return func(d *Deployment) { d.overload = &cfg; d.staleBudget = staleBudget }
+}
+
 // New assembles a deployment cold: databases, graphs, engines, clusters,
 // routing. Nothing moves until Start. Call Prime before serving, and
 // Shutdown to drain.
@@ -245,6 +271,7 @@ func New(cfg Config, opts ...Option) (*Deployment, error) {
 		Router:      routing.NewRouter(routing.NumAddresses),
 		complexes:   make(map[string]*Complex),
 		batchWindow: cfg.BatchWindow,
+		maxPending:  cfg.MaxPending,
 	}
 	for _, o := range opts {
 		o(d)
@@ -289,12 +316,22 @@ func (d *Deployment) newComplex(cs ComplexSpec, cfg Config, feed *db.DB, feedNam
 	gen := core.Generator(func(key cache.Key, version int64) (*cache.Object, error) {
 		return csite.Engine.Generate(key, version)
 	})
+	if cfg.RenderCost != nil {
+		base := gen
+		gen = func(key cache.Key, version int64) (*cache.Object, error) {
+			cfg.RenderCost()
+			return base(key, version)
+		}
+	}
 	if d.inj != nil {
 		gen = d.inj.Generator(cs.Name, gen)
 	}
 	opts := []core.Option{core.WithGenerator(gen)}
 	if cfg.RenderWorkers > 1 {
 		opts = append(opts, core.WithParallelism(cfg.RenderWorkers))
+	}
+	if cfg.Policy != core.PolicyUpdateInPlace {
+		opts = append(opts, core.WithPolicy(cfg.Policy))
 	}
 	engine := core.NewEngine(graph, store, opts...)
 	var err error
@@ -309,7 +346,7 @@ func (d *Deployment) newComplex(cs ComplexSpec, cfg Config, feed *db.DB, feedNam
 	if d.retry != nil {
 		groupOpts = append(groupOpts, cache.WithRetryPolicy(*d.retry))
 	}
-	cl := cluster.NewComplex(cluster.Config{
+	clCfg := cluster.Config{
 		Name:          cs.Name,
 		Frames:        cs.Frames,
 		NodesPerFrame: cs.NodesPerFrame,
@@ -317,7 +354,17 @@ func (d *Deployment) newComplex(cs ComplexSpec, cfg Config, feed *db.DB, feedNam
 		Version:       replica.LSN,
 		Statics:       csite.Statics(),
 		GroupOptions:  groupOpts,
-	})
+	}
+	if d.overload != nil {
+		ocfg, budget := *d.overload, d.staleBudget
+		if budget > 0 {
+			clCfg.CacheOptions = []cache.Option{cache.WithStaleRetention()}
+		}
+		clCfg.NodeOptions = func(string) []httpserver.Option {
+			return []httpserver.Option{httpserver.WithOverload(overload.NewLimiter(ocfg), budget)}
+		}
+	}
+	cl := cluster.NewComplex(clCfg)
 	store.set(cl.Caches)
 
 	cx := &Complex{
@@ -393,6 +440,9 @@ func (d *Deployment) startMonitor(cx *Complex, gen int) error {
 	opts := []trigger.Option{
 		trigger.WithIndexer(cx.Site.Indexer),
 		trigger.WithBatchWindow(d.batchWindow),
+	}
+	if d.maxPending > 0 {
+		opts = append(opts, trigger.WithMaxPending(d.maxPending))
 	}
 	if cx.Tracer != nil {
 		opts = append(opts, trigger.WithTracer(cx.Tracer))
@@ -576,6 +626,22 @@ func (d *Deployment) Stats() cache.Stats {
 		agg.PeakBytes += s.PeakBytes
 	}
 	return agg
+}
+
+// AdviseLoad runs one load-advisor sweep, closing the overload loop at the
+// routing layer: each complex's aggregate load (the mean of its nodes'
+// limiter signals, as seen by the Network Dispatcher) is fed to MSIRP,
+// which withdraws advertised addresses in 8 1/3 % steps once the aggregate
+// crosses the shed threshold — and re-advertises them as load subsides.
+// Returns the per-complex load that was advised, for observability.
+func (d *Deployment) AdviseLoad() map[string]float64 {
+	loads := make(map[string]float64, len(d.order))
+	for _, name := range d.order {
+		load := d.complexes[name].Cluster.Dispatcher.LoadSignal()
+		loads[name] = load
+		_ = d.Router.SetComplexLoad(name, load)
+	}
+	return loads
 }
 
 // FailComplex takes an entire complex offline: every node errors, the

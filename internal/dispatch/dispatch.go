@@ -34,6 +34,14 @@ type Node interface {
 	Serve(path string) (*cache.Object, httpserver.Outcome, error)
 }
 
+// loadSignaler is the optional interface through which a node reports its
+// overload signal (see overload.Limiter.Load): 0 idle, ~1 fully busy, >1
+// queueing. The dispatcher's ISS advisors fold it into node selection so an
+// overloaded node loses traffic before it starts shedding — the paper's
+// load-based distribution reacting to render pressure, not just connection
+// counts. httpserver.Server and nested Dispatchers both implement it.
+type loadSignaler interface{ LoadSignal() float64 }
+
 // Probe reports whether a node is healthy. The default probe serves a
 // synthetic request and treats any non-error outcome as healthy.
 type Probe func(Node) bool
@@ -55,6 +63,7 @@ type member struct {
 	up          bool
 	served      int64
 	failures    int64
+	sheds       int64 // requests this node refused under overload
 }
 
 // load is the member's normalized queue depth: outstanding work divided by
@@ -62,6 +71,17 @@ type member struct {
 // weight-1 node with one.
 func (m *member) load() float64 {
 	return float64(m.outstanding) / float64(m.weight)
+}
+
+// score is the selection key: queue depth here at the dispatcher plus
+// whatever overload signal the node itself reports. Two nodes with equal
+// outstanding counts are no longer equal if one of them is queueing renders.
+func (m *member) score() float64 {
+	s := m.load()
+	if ls, ok := m.node.(loadSignaler); ok {
+		s += ls.LoadSignal()
+	}
+	return s
 }
 
 // Dispatcher forwards requests across a pool of nodes. Safe for concurrent
@@ -78,9 +98,10 @@ type Dispatcher struct {
 	rr      int // round-robin tiebreak cursor
 	started bool
 
-	forwarded stats.Counter
-	failovers stats.Counter
-	rejected  stats.Counter
+	forwarded     stats.Counter
+	failovers     stats.Counter
+	shedFailovers stats.Counter
+	rejected      stats.Counter
 
 	stopOnce sync.Once
 	stopCh   chan struct{}
@@ -271,7 +292,7 @@ func (d *Dispatcher) pick(exclude map[*member]bool) *member {
 		if !m.up || exclude[m] {
 			continue
 		}
-		if best == nil || m.load() < best.load() {
+		if best == nil || m.score() < best.score() {
 			best = m
 		}
 	}
@@ -295,20 +316,52 @@ func (d *Dispatcher) release(m *member, failed bool) {
 	}
 }
 
+// releaseShed accounts a refusal under overload. Crucially the node stays
+// up: an overloaded node is healthy and will take traffic again the moment
+// its queue drains, so pulling it from the distribution list (as release
+// does for failures) would turn a transient surge into a capacity loss.
+func (d *Dispatcher) releaseShed(m *member) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	m.outstanding--
+	m.sheds++
+}
+
 // Serve implements Node: forward the request to a healthy backend, failing
 // over (and pulling failed nodes) until a node answers or the pool is
 // exhausted.
 func (d *Dispatcher) Serve(path string) (*cache.Object, httpserver.Outcome, error) {
 	tried := make(map[*member]bool)
 	retries := 0
+	var lastShed error
 	for {
 		m := d.pick(tried)
 		if m == nil {
 			d.rejected.Inc()
+			if lastShed != nil {
+				// Every reachable node refused under overload; the pool is
+				// saturated, not dead. Propagate the shed so the routing
+				// layer can try another complex instead of declaring this
+				// one failed.
+				return nil, httpserver.OutcomeShed, lastShed
+			}
 			return nil, httpserver.OutcomeError, fmt.Errorf("%w (%s)", ErrNoBackends, d.name)
 		}
 		tried[m] = true
 		obj, outcome, err := m.node.Serve(path)
+		if outcome == httpserver.OutcomeShed {
+			// Overloaded, not broken: fail over to a sibling but leave the
+			// node in the distribution list.
+			d.releaseShed(m)
+			d.shedFailovers.Inc()
+			lastShed = err
+			retries++
+			if d.maxRetries >= 0 && retries > d.maxRetries {
+				d.rejected.Inc()
+				return nil, httpserver.OutcomeShed, err
+			}
+			continue
+		}
 		if outcome == httpserver.OutcomeError && err != nil && !errors.Is(err, httpserver.ErrNoRoute) {
 			// Node-level failure: pull it and fail over.
 			d.release(m, true)
@@ -324,6 +377,28 @@ func (d *Dispatcher) Serve(path string) (*cache.Object, httpserver.Outcome, erro
 		d.forwarded.Inc()
 		return obj, outcome, err
 	}
+}
+
+// LoadSignal implements loadSignaler for nested dispatchers and the routing
+// layer: the mean score of the distribution list. A whole complex therefore
+// reports how loaded its nodes are, and MSIRP can withdraw addresses from a
+// complex whose aggregate crosses the shedding threshold.
+func (d *Dispatcher) LoadSignal() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var sum float64
+	n := 0
+	for _, m := range d.members {
+		if !m.up {
+			continue
+		}
+		sum += m.score()
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
 }
 
 // CheckNow runs one advisor sweep synchronously: every node is probed, and
@@ -385,14 +460,23 @@ type NodeStats struct {
 	Outstanding int
 	Served      int64
 	Failures    int64
+	// Sheds counts requests this node refused under overload (the node
+	// stayed in the distribution list; the requests failed over).
+	Sheds int64
+	// Load is the member's current selection score: dispatcher queue depth
+	// plus the node's own overload signal.
+	Load float64
 }
 
 // DispatcherStats snapshots the dispatcher.
 type DispatcherStats struct {
 	Forwarded int64
 	Failovers int64
-	Rejected  int64
-	Nodes     []NodeStats
+	// ShedFailovers counts failovers caused by overload sheds (the node was
+	// not pulled from the pool).
+	ShedFailovers int64
+	Rejected      int64
+	Nodes         []NodeStats
 }
 
 // RegisterMetrics publishes the dispatcher's counters and pool health into
@@ -402,6 +486,10 @@ func (d *Dispatcher) RegisterMetrics(reg *stats.Registry, labels stats.Labels) {
 		"requests forwarded to a pool member", labels, &d.forwarded)
 	reg.RegisterCounter("dispatch_failovers_total",
 		"requests retried on another member after a failure", labels, &d.failovers)
+	reg.RegisterCounter("dispatch_shed_failovers_total",
+		"requests retried on another member after an overload shed", labels, &d.shedFailovers)
+	reg.RegisterFunc("dispatch_load_signal",
+		"mean selection score across the distribution list", labels, d.LoadSignal)
 	reg.RegisterCounter("dispatch_rejected_total",
 		"requests rejected with no healthy member", labels, &d.rejected)
 	reg.RegisterFunc("dispatch_healthy_nodes",
@@ -421,14 +509,17 @@ func (d *Dispatcher) Stats() DispatcherStats {
 			Outstanding: m.outstanding,
 			Served:      m.served,
 			Failures:    m.failures,
+			Sheds:       m.sheds,
+			Load:        m.score(),
 		})
 	}
 	d.mu.Unlock()
 	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Name < nodes[j].Name })
 	return DispatcherStats{
-		Forwarded: d.forwarded.Value(),
-		Failovers: d.failovers.Value(),
-		Rejected:  d.rejected.Value(),
-		Nodes:     nodes,
+		Forwarded:     d.forwarded.Value(),
+		Failovers:     d.failovers.Value(),
+		ShedFailovers: d.shedFailovers.Value(),
+		Rejected:      d.rejected.Value(),
+		Nodes:         nodes,
 	}
 }

@@ -26,6 +26,7 @@ import (
 
 	"dupserve/internal/cache"
 	"dupserve/internal/core"
+	"dupserve/internal/overload"
 	"dupserve/internal/stats"
 )
 
@@ -43,6 +44,12 @@ const (
 	OutcomeNotFound
 	// OutcomeError means generation failed.
 	OutcomeError
+	// OutcomeStale means the node was overloaded and degraded to a
+	// retained stale copy within its freshness budget instead of rendering.
+	OutcomeStale
+	// OutcomeShed means the node was overloaded and refused the request
+	// (HTTP 503 + Retry-After); the caller should try another node.
+	OutcomeShed
 )
 
 // String names the outcome.
@@ -58,6 +65,10 @@ func (o Outcome) String() string {
 		return "notfound"
 	case OutcomeError:
 		return "error"
+	case OutcomeStale:
+		return "stale"
+	case OutcomeShed:
+		return "shed"
 	default:
 		return fmt.Sprintf("outcome(%d)", uint8(o))
 	}
@@ -71,6 +82,13 @@ var ErrNoRoute = errors.New("httpserver: no route")
 // rejects new work (so the dispatcher's advisors pull it from the
 // distribution list) while in-flight requests finish.
 var ErrDraining = errors.New("httpserver: node draining")
+
+// ErrOverloaded is returned (wrapping overload.ErrShed) when the node's
+// admission controller refuses a render and no stale copy within the
+// freshness budget exists. Unlike a node failure, an overloaded node is
+// still healthy: dispatchers fail the request over without pulling the
+// node from the pool.
+var ErrOverloaded = errors.New("httpserver: node overloaded")
 
 // VersionFunc reports the current data version (database LSN) so that pages
 // generated on miss carry an accurate freshness stamp.
@@ -86,6 +104,12 @@ type Server struct {
 	overhead func() // simulated per-request invocation overhead (CGI fork)
 	noCache  bool   // disable caching entirely (uncached-dynamic baseline)
 
+	// Overload control: limiter gates renders on miss; staleBudget bounds
+	// how old a degraded stale response may be. Both nil/zero without
+	// WithOverload.
+	limiter     *overload.Limiter
+	staleBudget time.Duration
+
 	mu     sync.RWMutex
 	static map[string]*cache.Object
 
@@ -94,13 +118,16 @@ type Server struct {
 	draining atomic.Bool
 	inflight atomic.Int64
 
-	requests stats.Counter
-	hits     stats.Counter
-	misses   stats.Counter
-	statics  stats.Counter
-	notFound stats.Counter
-	errs     stats.Counter
-	bytesOut stats.Counter
+	requests    stats.Counter
+	hits        stats.Counter
+	misses      stats.Counter
+	statics     stats.Counter
+	notFound    stats.Counter
+	errs        stats.Counter
+	bytesOut    stats.Counter
+	servedStale stats.Counter // degraded responses from the stale side-table
+	shed        stats.Counter // requests refused with 503 under overload
+	staleAgeMax stats.Gauge   // worst staleness ever served, microseconds
 }
 
 // Option configures a Server.
@@ -116,6 +143,20 @@ func WithOverhead(f func()) Option {
 // This is the uncached-dynamic baseline of the E2 experiment.
 func WithoutCache() Option {
 	return func(s *Server) { s.noCache = true }
+}
+
+// WithOverload installs admission control on the render path. Cache hits
+// are always admitted — a hit costs no render capacity, which is exactly
+// why the paper's caches made peak load survivable. On a miss the render
+// passes through lim; when lim sheds, the node degrades to a retained
+// stale copy no older than staleBudget if one exists (OutcomeStale), and
+// only past that to OutcomeShed (503 + Retry-After). staleBudget <= 0
+// disables the stale fallback, shedding immediately.
+func WithOverload(lim *overload.Limiter, staleBudget time.Duration) Option {
+	return func(s *Server) {
+		s.limiter = lim
+		s.staleBudget = staleBudget
+	}
 }
 
 // SpinOverhead returns an overhead hook that burns roughly n iterations of
@@ -199,6 +240,22 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // Draining reports whether the node is refusing new work.
 func (s *Server) Draining() bool { return s.draining.Load() }
 
+// Limiter returns the node's admission controller (nil without
+// WithOverload).
+func (s *Server) Limiter() *overload.Limiter { return s.limiter }
+
+// LoadSignal reports the node's scalar load (see overload.Limiter.Load):
+// 0 idle, ~1 fully busy, >1 queueing. Nodes without admission control
+// report 0 — they never claim to be saturated, matching their unbounded
+// legacy behaviour. Dispatch advisors consume this to steer work away from
+// overloaded nodes before they start shedding.
+func (s *Server) LoadSignal() float64 {
+	if s.limiter == nil {
+		return 0
+	}
+	return s.limiter.Load()
+}
+
 // Serve satisfies one request for path, returning the object and how it was
 // satisfied. This is the transport-independent core used by both ServeHTTP
 // and the simulator.
@@ -241,6 +298,16 @@ func (s *Server) Serve(path string) (*cache.Object, Outcome, error) {
 		s.notFound.Inc()
 		return nil, OutcomeNotFound, fmt.Errorf("%w: %q", ErrNoRoute, path)
 	}
+
+	// Miss: the render is the expensive part, so it alone passes through
+	// admission control. A shed degrades to bounded staleness, then to 503.
+	if s.limiter != nil {
+		release, err := s.limiter.Acquire()
+		if err != nil {
+			return s.degrade(path)
+		}
+		defer release()
+	}
 	obj, err := s.gen(cache.Key(path), s.version())
 	if err != nil {
 		if errors.Is(err, ErrNoRoute) || isUnknownPage(err) {
@@ -256,6 +323,24 @@ func (s *Server) Serve(path string) (*cache.Object, Outcome, error) {
 	s.misses.Inc()
 	s.bytesOut.Add(int64(len(obj.Value)))
 	return obj, OutcomeMiss, nil
+}
+
+// degrade handles a shed render: serve the invalidated entry's retained
+// copy if it is within the freshness budget (stale-but-bounded beats a
+// 503), otherwise refuse the request. GetStale enforces the budget itself,
+// so a response can never be staler than staleBudget; staleAgeMax records
+// the worst age actually served so the claim is measured, not assumed.
+func (s *Server) degrade(path string) (*cache.Object, Outcome, error) {
+	if s.cache != nil && s.staleBudget > 0 {
+		if obj, age, ok := s.cache.GetStale(cache.Key(path), s.staleBudget); ok {
+			s.servedStale.Inc()
+			s.staleAgeMax.Set(age.Microseconds()) // Max() keeps the worst ever served
+			s.bytesOut.Add(int64(len(obj.Value)))
+			return obj, OutcomeStale, nil
+		}
+	}
+	s.shed.Inc()
+	return nil, OutcomeShed, fmt.Errorf("%w: %q: %w", ErrOverloaded, s.name, overload.ErrShed)
 }
 
 // isUnknownPage sniffs generator "unknown page" errors without importing
@@ -283,6 +368,12 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	case OutcomeError:
 		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	case OutcomeShed:
+		// Overloaded and no bounded-stale fallback: tell the client (or
+		// front-end dispatcher) to come back, not that the node is broken.
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "overloaded, retry shortly", http.StatusServiceUnavailable)
 		return
 	}
 	etag := ETag(obj)
@@ -312,6 +403,14 @@ type ServerStats struct {
 	NotFound int64
 	Errors   int64
 	BytesOut int64
+	// ServedStale counts degraded responses served from the stale
+	// side-table under overload.
+	ServedStale int64
+	// Shed counts requests refused under overload (503 + Retry-After).
+	Shed int64
+	// StaleAgeMax is the worst staleness ever served, which the freshness
+	// budget bounds.
+	StaleAgeMax time.Duration
 }
 
 // HitRate returns hits/(hits+misses) over dynamic requests only.
@@ -326,13 +425,16 @@ func (s ServerStats) HitRate() float64 {
 // Stats returns a snapshot of the node's counters.
 func (s *Server) Stats() ServerStats {
 	return ServerStats{
-		Requests: s.requests.Value(),
-		Hits:     s.hits.Value(),
-		Misses:   s.misses.Value(),
-		Statics:  s.statics.Value(),
-		NotFound: s.notFound.Value(),
-		Errors:   s.errs.Value(),
-		BytesOut: s.bytesOut.Value(),
+		Requests:    s.requests.Value(),
+		Hits:        s.hits.Value(),
+		Misses:      s.misses.Value(),
+		Statics:     s.statics.Value(),
+		NotFound:    s.notFound.Value(),
+		Errors:      s.errs.Value(),
+		BytesOut:    s.bytesOut.Value(),
+		ServedStale: s.servedStale.Value(),
+		Shed:        s.shed.Value(),
+		StaleAgeMax: time.Duration(s.staleAgeMax.Max()) * time.Microsecond,
 	}
 }
 
@@ -350,8 +452,18 @@ func (s *Server) RegisterMetrics(reg *stats.Registry, extra stats.Labels) {
 	reg.RegisterCounter("http_not_found_total", "requests with no route", labels, &s.notFound)
 	reg.RegisterCounter("http_errors_total", "requests that failed generation", labels, &s.errs)
 	reg.RegisterCounter("http_bytes_out_total", "response body bytes written", labels, &s.bytesOut)
+	reg.RegisterCounter("served_stale_total",
+		"responses degraded to a bounded-staleness copy under overload", labels, &s.servedStale)
+	reg.RegisterCounter("shed_total",
+		"requests refused under overload (503 + Retry-After)", labels, &s.shed)
+	reg.RegisterFunc("served_stale_age_max_seconds",
+		"worst staleness ever served; the freshness budget bounds it", labels,
+		func() float64 { return float64(s.staleAgeMax.Max()) / 1e6 })
 	reg.RegisterFunc("http_hit_ratio", "dynamic hits/(hits+misses) since start", labels,
 		func() float64 { return s.Stats().HitRate() })
+	if s.limiter != nil {
+		s.limiter.RegisterMetrics(reg, labels)
+	}
 }
 
 // ResetStats zeroes the node's counters.
@@ -363,4 +475,7 @@ func (s *Server) ResetStats() {
 	s.notFound.Reset()
 	s.errs.Reset()
 	s.bytesOut.Reset()
+	s.servedStale.Reset()
+	s.shed.Reset()
+	s.staleAgeMax.Reset()
 }

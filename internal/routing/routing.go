@@ -59,11 +59,24 @@ var ErrNoRoute = errors.New("routing: no advertised route")
 // complex.
 var ErrUnknownComplex = errors.New("routing: unknown complex")
 
+// Load-based withdrawal thresholds: a complex whose aggregate load signal
+// reaches loadShedStart withdraws one address (one twelfth of RR-DNS
+// traffic); every further loadShedStep withdraws one more. With the paper's
+// twelve addresses, a complex sheds traffic in 8 1/3 % increments as its
+// load climbs — the operators' manual cost-shifting, driven by the overload
+// signal instead of a pager.
+const (
+	loadShedStart = 1.0
+	loadShedStep  = 0.25
+)
+
 type complexEntry struct {
 	name     string
 	node     dispatch.Node
 	distance map[Region]int // backbone cost from each region
 	up       bool
+	load     float64          // last advised aggregate load signal
+	shed     map[Address]bool // addresses withdrawn because of load
 }
 
 type advert struct {
@@ -81,11 +94,12 @@ type Router struct {
 	routes []([]advert)
 	dnsRR  int
 
-	requests  stats.Counter
-	reroutes  stats.Counter
-	rejected  stats.Counter
-	byComplex sync.Map // string -> *stats.Counter
-	byRegion  sync.Map // Region -> *stats.Counter
+	requests     stats.Counter
+	reroutes     stats.Counter
+	shedReroutes stats.Counter
+	rejected     stats.Counter
+	byComplex    sync.Map // string -> *stats.Counter
+	byRegion     sync.Map // Region -> *stats.Counter
 }
 
 // NewRouter returns a router with the given number of SIPR addresses
@@ -114,7 +128,10 @@ func (r *Router) AddComplex(name string, node dispatch.Node, distance map[Region
 	for k, v := range distance {
 		d[k] = v
 	}
-	r.complexes[name] = &complexEntry{name: name, node: node, distance: d, up: true}
+	r.complexes[name] = &complexEntry{
+		name: name, node: node, distance: d, up: true,
+		shed: make(map[Address]bool),
+	}
 }
 
 // Advertise installs (or updates) complex's route for addr at the given
@@ -185,6 +202,84 @@ func (r *Router) SetComplexUp(complexName string, up bool) {
 	}
 }
 
+// SetComplexLoad feeds a complex's aggregate load signal (typically its
+// dispatcher's LoadSignal) into the route table. Load at or above
+// loadShedStart withdraws addresses in 8 1/3 % steps — one more address per
+// loadShedStep of excess — always cheapest-advertised (primary) addresses
+// first, so each step actually moves a twelfth of RR-DNS traffic to the
+// next-cheapest advertiser. Load falling back re-advertises in the same
+// deterministic order. Unlike SetComplexUp(false), a load-shed complex still
+// answers for its remaining addresses and still backstops any address whose
+// other advertisers are gone (see Route's no-black-hole rule).
+func (r *Router) SetComplexLoad(complexName string, load float64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.complexes[complexName]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownComplex, complexName)
+	}
+	c.load = load
+	steps := 0
+	if load >= loadShedStart {
+		steps = 1 + int((load-loadShedStart)/loadShedStep)
+	}
+	order := r.withdrawalOrderLocked(complexName)
+	if steps > len(order) {
+		steps = len(order)
+	}
+	c.shed = make(map[Address]bool, steps)
+	for _, a := range order[:steps] {
+		c.shed[a] = true
+	}
+	return nil
+}
+
+// withdrawalOrderLocked returns the addresses complexName advertises,
+// cheapest (primary) first with address number as tie-break — the
+// deterministic order in which load shedding withdraws them. Caller holds mu.
+func (r *Router) withdrawalOrderLocked(complexName string) []Address {
+	type cand struct {
+		addr Address
+		cost int
+	}
+	var cs []cand
+	for a := range r.routes {
+		for _, ad := range r.routes[a] {
+			if ad.complexName == complexName {
+				cs = append(cs, cand{addr: Address(a), cost: ad.cost})
+			}
+		}
+	}
+	sort.Slice(cs, func(i, j int) bool {
+		if cs[i].cost != cs[j].cost {
+			return cs[i].cost < cs[j].cost
+		}
+		return cs[i].addr < cs[j].addr
+	})
+	out := make([]Address, len(cs))
+	for i, c := range cs {
+		out[i] = c.addr
+	}
+	return out
+}
+
+// LoadShedAddrs returns the addresses currently withdrawn from the complex
+// because of load, sorted.
+func (r *Router) LoadShedAddrs(complexName string) []Address {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.complexes[complexName]
+	if !ok {
+		return nil
+	}
+	out := make([]Address, 0, len(c.shed))
+	for a := range c.shed {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // AdvertiseSpread installs the paper's standard configuration: every
 // complex advertises every address; each address has exactly one primary
 // complex (cost primaryCost) assigned round-robin across the complexes in
@@ -231,16 +326,30 @@ func (r *Router) Route(region Region, addr Address) []string {
 		cost int
 	}
 	var list []scored
-	for _, ad := range r.routes[addr] {
-		c := r.complexes[ad.complexName]
-		if c == nil || !c.up {
-			continue
+	collect := func(ignoreLoadShed bool) {
+		list = list[:0]
+		for _, ad := range r.routes[addr] {
+			c := r.complexes[ad.complexName]
+			if c == nil || !c.up {
+				continue
+			}
+			if !ignoreLoadShed && c.shed[addr] {
+				continue
+			}
+			dist, ok := c.distance[region]
+			if !ok {
+				dist = 1 << 20
+			}
+			list = append(list, scored{name: ad.complexName, cost: ad.cost + dist})
 		}
-		dist, ok := c.distance[region]
-		if !ok {
-			dist = 1 << 20
-		}
-		list = append(list, scored{name: ad.complexName, cost: ad.cost + dist})
+	}
+	collect(false)
+	if len(list) == 0 {
+		// No-black-hole rule: if load shedding removed every advertiser of
+		// this address, the withdrawals are void for it — an overloaded
+		// answer beats no answer. (A down complex stays excluded; only
+		// load-shed ones come back.)
+		collect(true)
 	}
 	sort.Slice(list, func(i, j int) bool {
 		if list[i].cost != list[j].cost {
@@ -282,6 +391,17 @@ func (r *Router) RequestVia(region Region, addr Address, path string) (*cache.Ob
 			continue
 		}
 		obj, outcome, err := c.node.Serve(path)
+		if outcome == httpserver.OutcomeShed {
+			// The whole complex is saturated, not failed: reroute to the
+			// next-cheapest advertiser but leave the complex up — its
+			// remaining addresses keep serving and it recovers on its own.
+			r.shedReroutes.Inc()
+			if i < len(order)-1 {
+				continue
+			}
+			r.rejected.Inc()
+			return nil, outcome, name, err
+		}
 		if outcome == httpserver.OutcomeError && err != nil {
 			// Complex-level failure: mark it down and reroute.
 			r.SetComplexUp(name, false)
@@ -309,22 +429,35 @@ func (r *Router) counter(m *sync.Map, key any) *stats.Counter {
 
 // RouterStats snapshots router counters.
 type RouterStats struct {
-	Requests  int64
-	Reroutes  int64
-	Rejected  int64
-	ByComplex map[string]int64
-	ByRegion  map[Region]int64
+	Requests int64
+	Reroutes int64
+	// ShedReroutes counts requests rerouted because a complex was shedding
+	// under overload (the complex stayed up).
+	ShedReroutes int64
+	Rejected     int64
+	ByComplex    map[string]int64
+	ByRegion     map[Region]int64
+	// LoadShed maps each complex to the number of addresses currently
+	// withdrawn because of load.
+	LoadShed map[string]int
 }
 
 // Stats returns a snapshot of routing counters.
 func (r *Router) Stats() RouterStats {
 	st := RouterStats{
-		Requests:  r.requests.Value(),
-		Reroutes:  r.reroutes.Value(),
-		Rejected:  r.rejected.Value(),
-		ByComplex: make(map[string]int64),
-		ByRegion:  make(map[Region]int64),
+		Requests:     r.requests.Value(),
+		Reroutes:     r.reroutes.Value(),
+		ShedReroutes: r.shedReroutes.Value(),
+		Rejected:     r.rejected.Value(),
+		ByComplex:    make(map[string]int64),
+		ByRegion:     make(map[Region]int64),
+		LoadShed:     make(map[string]int),
 	}
+	r.mu.Lock()
+	for name, c := range r.complexes {
+		st.LoadShed[name] = len(c.shed)
+	}
+	r.mu.Unlock()
 	r.byComplex.Range(func(k, v any) bool {
 		st.ByComplex[k.(string)] = v.(*stats.Counter).Value()
 		return true

@@ -69,6 +69,12 @@ func (g *Gauge) Value() int64 { return g.v.Load() }
 // Max returns the maximum value ever set.
 func (g *Gauge) Max() int64 { return g.max.Load() }
 
+// Reset zeroes both the current value and the running maximum.
+func (g *Gauge) Reset() {
+	g.v.Store(0)
+	g.max.Store(0)
+}
+
 // Histogram is a fixed-boundary histogram. Boundaries are upper bounds of
 // each bucket; observations greater than the last boundary land in the
 // overflow bucket. Observe is lock-free.

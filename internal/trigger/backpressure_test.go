@@ -1,0 +1,147 @@
+package trigger
+
+import (
+	"testing"
+	"time"
+)
+
+// waitForTransactions blocks until the monitor has propagated n
+// transactions (or the test deadline hits).
+func waitForTransactions(t *testing.T, m *Monitor, n int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for m.Stats().Transactions < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("monitor stuck at %d of %d transactions", m.Stats().Transactions, n)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// TestBurstCoalescesIntoOneBatch holds the monitor mid-propagation (via a
+// blocking crash hook that never crashes) while a commit burst accumulates
+// in the feed, then verifies the backlog propagates as ONE merged batch:
+// the sublinear-burst guarantee.
+func TestBurstCoalescesIntoOneBatch(t *testing.T) {
+	entered := make(chan int64)
+	release := make(chan struct{})
+	hook := func(lsn int64) bool {
+		entered <- lsn
+		<-release
+		return false
+	}
+	h := newHarness(t,
+		WithBatchSize(4),
+		WithMaxPending(256),
+		WithBatchWindow(time.Hour), // only batch-size/flush trigger propagation
+		WithCrashHook(hook),
+	)
+	h.registerPage(t, "ev1")
+
+	// Fill the first batch; the monitor blocks inside the hook.
+	for i := 0; i < 4; i++ {
+		h.commit(t, "ev1", "s")
+	}
+	<-entered
+
+	// The burst: 60 more transactions pile up in the feed while propagation
+	// is stalled (the paper's commit storm during a popular event).
+	for i := 0; i < 60; i++ {
+		h.commit(t, "ev1", "s")
+	}
+	release <- struct{}{} // batch 1 (4 txs) propagates
+
+	// The backlog must coalesce into a single second batch.
+	<-entered
+	release <- struct{}{}
+
+	// Wait for the feed path to finish the backlog before flushing, so the
+	// flush observes — not performs — the coalescing.
+	waitForTransactions(t, h.monitor, 64)
+	h.monitor.Flush()
+
+	st := h.monitor.Stats()
+	if st.Transactions != 64 {
+		t.Fatalf("transactions propagated = %d, want 64", st.Transactions)
+	}
+	if st.Batches != 2 {
+		t.Fatalf("batches = %d, want 2 (burst must coalesce into one batch)", st.Batches)
+	}
+	if st.Coalesced != 56 {
+		// Batch 2 starts with 4 admitted via the normal path; the other 56
+		// are absorbed by backpressure coalescing.
+		t.Fatalf("coalesced = %d, want 56", st.Coalesced)
+	}
+}
+
+// TestMaxPendingBoundsCoalescing verifies the high-water mark: a backlog
+// larger than MaxPending splits into ceil(backlog/MaxPending) batches
+// rather than one unbounded batch.
+func TestMaxPendingBoundsCoalescing(t *testing.T) {
+	entered := make(chan int64)
+	release := make(chan struct{})
+	hook := func(lsn int64) bool {
+		entered <- lsn
+		<-release
+		return false
+	}
+	h := newHarness(t,
+		WithBatchSize(4),
+		WithMaxPending(16),
+		WithBatchWindow(time.Hour),
+		WithCrashHook(hook),
+	)
+	h.registerPage(t, "ev1")
+
+	for i := 0; i < 4; i++ {
+		h.commit(t, "ev1", "s")
+	}
+	<-entered
+	for i := 0; i < 60; i++ {
+		h.commit(t, "ev1", "s")
+	}
+	go func() {
+		for {
+			select {
+			case <-entered:
+				release <- struct{}{}
+			case <-h.monitor.Done():
+				return
+			}
+		}
+	}()
+	release <- struct{}{}
+	waitForTransactions(t, h.monitor, 64)
+	h.monitor.Flush()
+
+	st := h.monitor.Stats()
+	if st.Transactions != 64 {
+		t.Fatalf("transactions propagated = %d, want 64", st.Transactions)
+	}
+	// Batch 1 holds 4; the queued backlog of 60 then drains in high-water
+	// slices of min(16, remaining): 16+16+16+12.
+	if st.Batches != 5 {
+		t.Fatalf("batches = %d, want 5 (MaxPending must bound each batch)", st.Batches)
+	}
+	bounds, counts := h.monitor.BatchSizes().Buckets()
+	for i, c := range counts {
+		if c > 0 && (i >= len(bounds) || bounds[i] > 16) {
+			t.Fatalf("a batch exceeded MaxPending (histogram bucket %d has %d)", i, c)
+		}
+	}
+}
+
+// TestFlushBacksOffWithoutSpinning exercises the Flush retry path: a
+// transaction committed immediately before Flush must be propagated by the
+// time Flush returns, regardless of feed-queue timing.
+func TestFlushBacksOffWithoutSpinning(t *testing.T) {
+	h := newHarness(t, WithBatchWindow(time.Hour), WithBatchSize(1024))
+	h.registerPage(t, "ev1")
+	for i := 0; i < 50; i++ {
+		h.commit(t, "ev1", "s")
+		h.monitor.Flush()
+		if got := h.monitor.LastLSN(); got != h.db.LSN() {
+			t.Fatalf("Flush returned at LSN %d, want %d", got, h.db.LSN())
+		}
+	}
+}

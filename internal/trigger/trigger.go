@@ -80,6 +80,14 @@ type Config struct {
 	// BatchWindow propagates a partial batch after this much quiet
 	// (default 50ms). Zero disables batching.
 	BatchWindow time.Duration
+	// MaxPending is the backpressure high-water mark (default 8*BatchSize).
+	// When a batch reaches BatchSize and the feed is still delivering — a
+	// commit burst — the monitor keeps absorbing already-arrived
+	// transactions into the same batch up to MaxPending before propagating
+	// once. The merged batch's changed-vertex frontiers deduplicate, so a
+	// burst costs one ODG traversal over the union instead of one per
+	// BatchSize: propagation work grows sublinearly with burst size.
+	MaxPending int
 }
 
 // Monitor consumes a CDC feed and drives a DUP engine. Create with New,
@@ -90,6 +98,7 @@ type Monitor struct {
 	indexer     Indexer
 	batchSize   int
 	batchWindow time.Duration
+	maxPending  int
 	now         func() time.Time
 
 	database   *db.DB
@@ -109,6 +118,7 @@ type Monitor struct {
 	invalidated stats.Counter
 	replayed    stats.Counter    // transactions recovered from the log at Start
 	crashes     stats.Counter    // injected/organic crashes of this monitor
+	coalesced   stats.Counter    // transactions absorbed into already-full batches
 	latency     stats.Summary    // commit -> propagated, seconds
 	batchSizes  *stats.Histogram // transactions per propagated batch
 	batchWait   *stats.Histogram // arrival of first tx -> flush, seconds
@@ -144,6 +154,16 @@ func WithBatchSize(n int) Option {
 // 50ms). Zero disables batching: every transaction propagates immediately.
 func WithBatchWindow(d time.Duration) Option {
 	return func(m *Monitor) { m.batchWindow = d }
+}
+
+// WithMaxPending sets the backpressure high-water mark (see
+// Config.MaxPending).
+func WithMaxPending(n int) Option {
+	return func(m *Monitor) {
+		if n > 0 {
+			m.maxPending = n
+		}
+	}
 }
 
 // WithIndexer substitutes the change-to-vertex mapping.
@@ -201,8 +221,17 @@ func New(cfg Config, opts ...Option) *Monitor {
 	if cfg.BatchWindow != 0 {
 		m.batchWindow = cfg.BatchWindow
 	}
+	if cfg.MaxPending > 0 {
+		m.maxPending = cfg.MaxPending
+	}
 	for _, o := range opts {
 		o(m)
+	}
+	if m.maxPending == 0 {
+		m.maxPending = 8 * m.batchSize
+	}
+	if m.maxPending < m.batchSize {
+		m.maxPending = m.batchSize
 	}
 	return m
 }
@@ -317,12 +346,34 @@ func (m *Monitor) loop(replay []db.Transaction) {
 		pending = pending[:0]
 		return ok
 	}
+	replayMax := int64(0)
+	// absorb drains transactions already delivered on the feed into the
+	// current batch, up to the maxPending high-water mark. Under a commit
+	// burst this coalesces what would have been many consecutive batches
+	// into one: the merged changed-vertex sets deduplicate in propagate, so
+	// the DUP traversal cost grows with the union of the frontiers, not the
+	// transaction count. Returns true if the feed closed while draining.
+	absorb := func() (closed bool) {
+		for len(pending) < m.maxPending {
+			select {
+			case tx, ok := <-m.feed:
+				if !ok {
+					return true
+				}
+				if tx.LSN > replayMax {
+					admit(tx)
+				}
+			default:
+				return false
+			}
+		}
+		return false
+	}
 
 	// Recovery replay: everything the database retains past the
 	// checkpoint propagates as one batch before live consumption. A crash
 	// hook can fire here too — a monitor that crashes during recovery
 	// recovers again from the same checkpoint.
-	var replayMax int64
 	if len(replay) > 0 {
 		for _, tx := range replay {
 			admit(tx)
@@ -347,8 +398,20 @@ func (m *Monitor) loop(replay []db.Transaction) {
 			}
 			admit(tx)
 			if m.batchWindow <= 0 || len(pending) >= m.batchSize {
+				// Full batch with the feed possibly still delivering:
+				// absorb the backlog before propagating so a burst costs
+				// one traversal, not one per batchSize.
+				closed := false
+				if len(pending) >= m.batchSize {
+					before := len(pending)
+					closed = absorb()
+					m.coalesced.Add(int64(len(pending) - before))
+				}
 				if !propagate() {
 					crashed = true
+					return
+				}
+				if closed {
 					return
 				}
 			} else if timerC == nil {
@@ -363,29 +426,28 @@ func (m *Monitor) loop(replay []db.Transaction) {
 				return
 			}
 		case ack := <-m.flushC:
-			// Absorb anything already delivered on the feed, then
-			// propagate. Flush (below) re-issues the request until every
+			// Absorb anything already delivered on the feed and propagate,
+			// in high-water slices so even flush-driven batches respect
+			// MaxPending. Flush (below) re-issues the request until every
 			// transaction committed before the call has flowed through the
 			// feed's internal queue and been propagated.
 			for {
-				select {
-				case tx, ok := <-m.feed:
-					if ok {
-						if tx.LSN > replayMax {
-							admit(tx)
-						}
-						continue
-					}
-				default:
+				closed := absorb()
+				full := len(pending) >= m.maxPending
+				if !propagate() {
+					close(ack)
+					crashed = true
+					return
 				}
-				break
+				if closed {
+					close(ack)
+					return
+				}
+				if !full {
+					break
+				}
 			}
-			ok := propagate()
 			close(ack)
-			if !ok {
-				crashed = true
-				return
-			}
 		}
 	}
 }
@@ -484,6 +546,7 @@ func clampTime(t, limit time.Time) time.Time {
 // stopped or has crashed, Flush returns immediately.
 func (m *Monitor) Flush() {
 	target := m.database.LSN()
+	backoff := 50 * time.Microsecond
 	for {
 		ack := make(chan struct{})
 		select {
@@ -496,8 +559,13 @@ func (m *Monitor) Flush() {
 			return
 		}
 		// A transaction committed before the call is still traversing the
-		// feed's internal queue; yield and retry.
-		time.Sleep(100 * time.Microsecond)
+		// feed's internal queue. Back off exponentially instead of spinning:
+		// each retry doubles the sleep (capped at 5ms), so a briefly-behind
+		// feed costs microseconds while a busy one doesn't eat a core.
+		time.Sleep(backoff)
+		if backoff < 5*time.Millisecond {
+			backoff *= 2
+		}
 	}
 }
 
@@ -542,6 +610,9 @@ type MonitorStats struct {
 	Replayed int64
 	// Crashes counts monitor crashes (injected or organic).
 	Crashes int64
+	// Coalesced counts transactions absorbed into an already-full batch
+	// under backpressure (the sublinear-burst mechanism).
+	Coalesced int64
 	// Freshness latency, seconds, commit -> propagated.
 	LatencyMean float64
 	LatencyP99  float64
@@ -557,6 +628,7 @@ func (m *Monitor) Stats() MonitorStats {
 		Invalidations: m.invalidated.Value(),
 		Replayed:      m.replayed.Value(),
 		Crashes:       m.crashes.Value(),
+		Coalesced:     m.coalesced.Value(),
 		LatencyMean:   m.latency.Mean(),
 		LatencyP99:    m.latency.Percentile(99),
 		LatencyMax:    m.latency.Max(),
@@ -584,6 +656,8 @@ func (m *Monitor) RegisterMetrics(reg *stats.Registry, labels stats.Labels) {
 		"transactions recovered from the retained log at monitor start", labels, &m.replayed)
 	reg.RegisterCounter("trigger_crashes_total",
 		"trigger monitor crashes (injected or organic)", labels, &m.crashes)
+	reg.RegisterCounter("trigger_coalesced_total",
+		"transactions absorbed into already-full batches under backpressure", labels, &m.coalesced)
 	reg.RegisterHistogram("trigger_batch_size_transactions",
 		"transactions coalesced per batch", labels, m.batchSizes)
 	reg.RegisterHistogram("trigger_batch_wait_seconds",
