@@ -4,10 +4,11 @@ GO ?= go
 # observability layer itself, plus the fault-injection and recovery layer
 # whose whole point is concurrent crash/restart, plus the overload/admission
 # path (limiter, degradation serving) which is exercised by many goroutines
-# at once; check runs them under the race detector.
-RACE_PKGS = ./internal/stats ./internal/trace ./internal/trigger ./internal/core ./internal/cache ./internal/db ./internal/fault ./internal/deploy ./internal/overload ./internal/httpserver
+# at once, plus the auditor whose Observe runs on every node's request path
+# concurrently with sweeps; check runs them under the race detector.
+RACE_PKGS = ./internal/stats ./internal/trace ./internal/trigger ./internal/core ./internal/cache ./internal/db ./internal/fault ./internal/deploy ./internal/overload ./internal/httpserver ./internal/audit
 
-.PHONY: all build test race check chaos bench bench-overload run
+.PHONY: all build test race check chaos audit bench bench-overload run
 
 all: check
 
@@ -28,19 +29,26 @@ race:
 chaos:
 	$(GO) run ./cmd/simulate -chaos -seed 1
 
+# audit runs the standalone consistency audit: traffic under propagation,
+# convergence, then a shadow-render sweep of every page on every complex
+# asserting zero incoherent pages and a complete, minimal ODG.
+audit:
+	$(GO) run ./cmd/simulate -audit -seed 1
+
 # bench-overload records serve-path throughput, p50/p99 latency, and
 # hit/stale/shed rates at 1x, 3x, and 5x of estimated render capacity.
 bench-overload:
 	$(GO) run ./cmd/simulate -overload-bench BENCH_overload.json -seed 1
 
 # check is the tier-1 gate: everything builds, vets clean, every test
-# passes, the propagation pipeline is race-clean, and the chaos tournament
-# converges.
+# passes, the propagation pipeline is race-clean, the chaos tournament
+# converges, and the consistency audit proves the plant coherent.
 check: build
 	$(GO) vet ./...
 	$(GO) test ./...
 	$(GO) test -race $(RACE_PKGS)
 	$(GO) run ./cmd/simulate -chaos -seed 1
+	$(GO) run ./cmd/simulate -audit -seed 1
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...

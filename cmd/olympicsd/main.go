@@ -13,6 +13,7 @@
 //	curl    localhost:8098/en/medals
 //	curl    localhost:8098/stats
 //	curl    localhost:8098/sitemap           # all page paths (for loadgen)
+//	curl    localhost:8098/debug/audit       # consistency audit sweep (JSON)
 package main
 
 import (
@@ -31,9 +32,11 @@ import (
 	"sync"
 	"time"
 
+	"dupserve/internal/audit"
 	"dupserve/internal/cache"
 	"dupserve/internal/core"
 	"dupserve/internal/db"
+	"dupserve/internal/fragment"
 	"dupserve/internal/dispatch"
 	"dupserve/internal/httpserver"
 	"dupserve/internal/odg"
@@ -103,6 +106,26 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// Consistency auditor: taps every served response and, on demand
+	// (/debug/audit), shadow-renders the site against a snapshot of the
+	// master to verify coherence and ODG completeness.
+	aud := audit.New(audit.Config{
+		Name:    "nagano",
+		Replica: master,
+		Build: func(sdb *db.DB, sreg fragment.Registrar) (*fragment.Engine, []string, error) {
+			s, err := site.BuildReplica(spec, sdb, sreg)
+			if err != nil {
+				return nil, nil, err
+			}
+			return s.Engine, s.Pages(), nil
+		},
+		Indexer:     func(ch db.Change) []odg.NodeID { return st.Indexer(ch) },
+		Tracer:      tracer,
+		StaleBudget: *slo,
+		SLO:         *slo,
+	})
+	aud.RegisterMetrics(reg, nil)
+
 	// Serving pool: one cache + server per node, pooled behind a
 	// dispatcher (the per-complex layout of figure 19).
 	var pool []dispatch.Node
@@ -111,7 +134,8 @@ func main() {
 		name := fmt.Sprintf("up%d", i)
 		c := cache.New(name)
 		group.Add(c)
-		srv := httpserver.New(name, c, gen, master.LSN)
+		srv := httpserver.New(name, c, gen, master.LSN,
+			httpserver.WithResponseTap(aud.Observe))
 		for p, body := range statics {
 			srv.SetStatic(p, body, "text/html; charset=utf-8")
 		}
@@ -246,6 +270,17 @@ func main() {
 			"summary": tracer.Snapshot(),
 			"traces":  tracer.Recent(n),
 		})
+	})
+	mux.HandleFunc("/debug/audit", func(w http.ResponseWriter, r *http.Request) {
+		rep, err := aud.Sweep()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := rep.WriteJSON(w); err != nil {
+			log.Printf("audit report: %v", err)
+		}
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -40,6 +40,13 @@
 //	simulate -overload -seed 1
 //	simulate -overload-bench BENCH_overload.json
 //
+// Both scenarios end with a consistency audit: every complex's auditor
+// shadow-renders the full page set against its replica at a pinned LSN and
+// verifies served bytes match, with zero incoherent pages and zero
+// missing or superfluous ODG edges. The audit can also run standalone:
+//
+//	simulate -audit -seed 1
+//
 // Traffic runs at a configurable fraction of the paper's 634.7M hits
 // (default 1/1000); printed hit figures are rescaled back to paper volume
 // for side-by-side comparison.
@@ -78,6 +85,7 @@ func main() {
 	chaosMode := flag.Bool("chaos", false, "run the fault-injection tournament (plus the overload scenario) instead of the simulation")
 	rounds := flag.Int("rounds", 5, "fault rounds for -chaos")
 	overloadMode := flag.Bool("overload", false, "run only the 5:1 overload scenario")
+	auditMode := flag.Bool("audit", false, "run only the standalone consistency audit: commit results under load, converge, and shadow-render every page of every complex")
 	overloadBench := flag.String("overload-bench", "", "write the 1x/3x/5x overload benchmark as JSON to this file")
 	flag.Parse()
 
@@ -101,6 +109,18 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "overload benchmark written to %s\n", *overloadBench)
+		return
+	}
+
+	if *auditMode {
+		res, err := chaos.RunAudit(chaos.AuditConfig{Seed: *seed, Out: os.Stdout})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "audit:", err)
+			os.Exit(1)
+		}
+		if !res.OK {
+			os.Exit(1)
+		}
 		return
 	}
 

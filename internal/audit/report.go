@@ -1,0 +1,91 @@
+package audit
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Edge names one page↔vertex relation the completeness checker flagged.
+type Edge struct {
+	Page   string `json:"page"`
+	Vertex string `json:"vertex"`
+}
+
+// Report is the outcome of one audit sweep. Slices are sorted, so a report
+// over deterministic inputs serializes byte-identically.
+type Report struct {
+	Name string `json:"name"`
+	// LSN is the pinned snapshot LSN every shadow render ran at.
+	LSN int64 `json:"lsn"`
+	// Pages is how many pages were shadow-rendered.
+	Pages int `json:"pages"`
+	// Samples is how many captured responses the sweep classified.
+	Samples int `json:"samples"`
+	// Dropped is the cumulative count of samples lost to the bounded
+	// buffer.
+	Dropped int64 `json:"dropped"`
+	// Shed counts sampled refusals — nothing was served, so there is
+	// nothing to verify, but the count keeps the ledger complete.
+	Shed int `json:"shed"`
+	// Unchecked counts samples for paths outside the shadow page set.
+	Unchecked int `json:"unchecked"`
+	// Coherent: served bytes matched the shadow render exactly.
+	Coherent int `json:"coherent"`
+	// BoundedStale: divergence explained by committed-but-unpropagated
+	// changes or a degraded serve within its freshness budget.
+	BoundedStale int `json:"bounded_stale"`
+	// ViolatingStale: explained divergence whose in-flight propagation had
+	// already exceeded the freshness SLO when the response was served.
+	ViolatingStale int `json:"violating_stale"`
+	// Incoherent: divergence no propagation explains — a consistency bug.
+	Incoherent      int      `json:"incoherent"`
+	IncoherentPages []string `json:"incoherent_pages,omitempty"`
+	// MissingEdges are observed reads the dependence graph never declared;
+	// SuperfluousEdges are declared db-level dependencies no read observed.
+	MissingEdges     []Edge `json:"missing_edges,omitempty"`
+	SuperfluousEdges []Edge `json:"superfluous_edges,omitempty"`
+}
+
+// OK reports whether the sweep found a provably coherent plant: zero
+// incoherent samples and a complete, minimal dependence graph.
+func (r *Report) OK() bool {
+	return r.Incoherent == 0 && len(r.MissingEdges) == 0 && len(r.SuperfluousEdges) == 0
+}
+
+// Write renders the report as stable, human-readable text: one summary
+// line, then one line per incoherent page and flagged edge.
+func (r *Report) Write(w io.Writer) error {
+	_, err := fmt.Fprintf(w,
+		"audit %s: lsn=%d pages=%d samples=%d coherent=%d bounded_stale=%d violating_stale=%d incoherent=%d shed=%d unchecked=%d missing_edges=%d superfluous_edges=%d ok=%t\n",
+		r.Name, r.LSN, r.Pages, r.Samples, r.Coherent, r.BoundedStale,
+		r.ViolatingStale, r.Incoherent, r.Shed, r.Unchecked,
+		len(r.MissingEdges), len(r.SuperfluousEdges), r.OK())
+	if err != nil {
+		return err
+	}
+	for _, p := range r.IncoherentPages {
+		if _, err := fmt.Fprintf(w, "incoherent page %s\n", p); err != nil {
+			return err
+		}
+	}
+	for _, e := range r.MissingEdges {
+		if _, err := fmt.Fprintf(w, "missing edge %s <- %s\n", e.Page, e.Vertex); err != nil {
+			return err
+		}
+	}
+	for _, e := range r.SuperfluousEdges {
+		if _, err := fmt.Fprintf(w, "superfluous edge %s <- %s\n", e.Page, e.Vertex); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON serializes the report as indented JSON (the /debug/audit
+// payload).
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -86,8 +86,13 @@ type Result struct {
 	// decides which identities are evaluated), so it appears in the Result
 	// for assertions but never in the deterministic report.
 	Injected [fault.NumKinds]int64
+	// Audit is the end-of-tournament consistency sweep: with all faults
+	// cleared and the plant converged, every page of every complex must be
+	// provably coherent against a shadow render.
+	Audit AuditSummary
 	// OK is true when every round converged with zero losses, zero stale
-	// pages, and zero residual SLO violations.
+	// pages, and zero residual SLO violations, and the audit sweep found
+	// the plant coherent.
 	OK bool
 }
 
@@ -156,6 +161,7 @@ func Run(cfg Config) (*Result, error) {
 			Sleep:       func(time.Duration) {},
 		}),
 		deploy.WithTracing(cfg.SLO),
+		deploy.WithAudit(),
 	)
 	if err != nil {
 		return nil, err
@@ -248,6 +254,19 @@ func Run(cfg Config) (*Result, error) {
 	for _, k := range fault.Kinds() {
 		res.Injected[k] = inj.Injected(k)
 	}
+
+	// The consistency audit closes the tournament: with every fault cleared
+	// and the plant converged, each complex's auditor shadow-renders the
+	// full page set and verifies that what the nodes serve is exactly what
+	// the replicas say — and that the dependence graph declared every read.
+	res.Audit, err = auditSweep(d, cfg.Out)
+	if err != nil {
+		return nil, err
+	}
+	if !res.Audit.OK {
+		res.OK = false
+	}
+
 	fmt.Fprintf(cfg.Out,
 		"chaos: seed=%d rounds=%d lost_transactions=%d stale_pages=%d residual_slo_violations=%d ok=%t\n",
 		res.Seed, len(res.Rounds), res.LostTransactions, res.StalePages,

@@ -35,6 +35,21 @@ func TestTournamentHoldsInvariantsAndReproduces(t *testing.T) {
 		t.Fatalf("rounds = %d", len(res1.Rounds))
 	}
 
+	// The closing consistency audit: after five fault rounds every probe
+	// of every page must match its shadow render, and the read-tracking
+	// completeness diff must be clean on all three complexes.
+	if !res1.Audit.OK || res1.Audit.Incoherent != 0 ||
+		res1.Audit.MissingEdges != 0 || res1.Audit.SuperfluousEdges != 0 {
+		t.Fatalf("audit: %+v", res1.Audit)
+	}
+	if res1.Audit.Complexes != 3 || res1.Audit.Probes != res1.Audit.Pages ||
+		res1.Audit.Coherent != res1.Audit.Probes {
+		t.Fatalf("audit coverage: %+v", res1.Audit)
+	}
+	if res1.Audit.LiveSamples == 0 {
+		t.Fatal("audit saw no live traffic — the taps are disconnected")
+	}
+
 	// The tournament must actually inject faults — a silently disarmed
 	// injector would pass the invariants vacuously. Crash injection is
 	// probabilistic (rate 0.4 over few batch identities), so it is not
@@ -49,6 +64,42 @@ func TestTournamentHoldsInvariantsAndReproduces(t *testing.T) {
 	_, out2 := run()
 	if out1 != out2 {
 		t.Fatalf("same-seed runs diverged:\n--- run1\n%s--- run2\n%s", out1, out2)
+	}
+}
+
+// TestStandaloneAuditRun: the dedicated audit scenario (simulate -audit)
+// proves the unmodified plant coherent — zero incoherent pages, zero
+// missing or superfluous ODG edges — and reproduces byte-for-byte.
+func TestStandaloneAuditRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("audit scenario")
+	}
+	run := func() (*AuditResult, string) {
+		var buf bytes.Buffer
+		res, err := RunAudit(AuditConfig{Seed: 1, Out: &buf})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, buf.String()
+	}
+	res1, out1 := run()
+	if !res1.OK {
+		t.Fatalf("audit run failed:\n%s", out1)
+	}
+	s := res1.Summary
+	if s.Complexes != 3 || s.Pages == 0 || s.Probes != s.Pages || s.Coherent != s.Probes {
+		t.Fatalf("audit coverage: %+v", s)
+	}
+	if s.Incoherent != 0 || len(s.IncoherentPages) != 0 ||
+		s.MissingEdges != 0 || s.SuperfluousEdges != 0 {
+		t.Fatalf("audit findings on an unmodified plant: %+v", s)
+	}
+	if s.LiveSamples == 0 {
+		t.Fatal("audit saw no live traffic — the taps are disconnected")
+	}
+	_, out2 := run()
+	if out1 != out2 {
+		t.Fatalf("same-seed audit runs diverged:\n--- run1\n%s--- run2\n%s", out1, out2)
 	}
 }
 

@@ -123,7 +123,10 @@ type OverloadResult struct {
 	// StalePages and ResidualViolations as in the tournament (invariant: 0).
 	StalePages         int
 	ResidualViolations int64
-	OK                 bool
+	// Audit is the post-recovery consistency sweep: the reconverged plant
+	// must be provably coherent against a shadow render.
+	Audit AuditSummary
+	OK    bool
 }
 
 // overloadDeployment builds the scenario plant: the tournament topology
@@ -145,6 +148,7 @@ func overloadDeployment(cfg OverloadConfig) (*deploy.Deployment, error) {
 			MaxQueue: -1,
 		}, cfg.StaleBudget),
 		deploy.WithTracing(cfg.SLO),
+		deploy.WithAudit(),
 	)
 }
 
@@ -342,10 +346,19 @@ func RunOverload(cfg OverloadConfig) (*OverloadResult, error) {
 	fmt.Fprintf(cfg.Out, "phase recover: reconverged=%t restored=%t stale_pages=%d residual_slo_violations=%d\n",
 		res.Reconverged, res.Restored, res.StalePages, res.ResidualViolations)
 
+	// Consistency audit over the reconverged plant: the flood degraded and
+	// shed freely, but nothing it served — and nothing it left in any cache
+	// — may diverge from the data unexplained.
+	res.Audit, err = auditSweep(d, cfg.Out)
+	if err != nil {
+		return nil, err
+	}
+
 	res.OK = res.Baseline.Errors == 0 && res.Baseline.Shed == 0 &&
 		res.HitAdmitted && res.StaleServed && res.Withdrawn && !res.BlackHoled &&
 		res.Flood.Errors == 0 && shedBounded && res.OverBudgetServers == 0 &&
-		res.Reconverged && res.Restored && res.StalePages == 0 && res.ResidualViolations == 0
+		res.Reconverged && res.Restored && res.StalePages == 0 && res.ResidualViolations == 0 &&
+		res.Audit.OK
 	fmt.Fprintf(cfg.Out, "overload: seed=%d ok=%t\n", res.Seed, res.OK)
 	return res, nil
 }

@@ -45,6 +45,18 @@ func TestOverloadScenarioHoldsInvariants(t *testing.T) {
 	if res.OverBudgetServers != 0 {
 		t.Fatalf("%d servers exceeded the staleness budget", res.OverBudgetServers)
 	}
+	// The post-recovery consistency audit: every probe across every
+	// complex must be provably coherent, with a clean ODG completeness
+	// diff. This is the oracle check — the flood's degraded serves must
+	// not have left a single page diverging from the data.
+	if !res.Audit.OK || res.Audit.Incoherent != 0 ||
+		res.Audit.MissingEdges != 0 || res.Audit.SuperfluousEdges != 0 {
+		t.Fatalf("audit: %+v", res.Audit)
+	}
+	if res.Audit.Complexes != 3 || res.Audit.Probes != res.Audit.Pages ||
+		res.Audit.Coherent != res.Audit.Probes {
+		t.Fatalf("audit coverage: %+v", res.Audit)
+	}
 	if !res.Reconverged || !res.Restored || res.StalePages != 0 || res.ResidualViolations != 0 {
 		t.Fatalf("recovery: reconverged=%t restored=%t stale=%d residual=%d",
 			res.Reconverged, res.Restored, res.StalePages, res.ResidualViolations)
@@ -57,6 +69,9 @@ func TestOverloadScenarioHoldsInvariants(t *testing.T) {
 		"phase saturate: hit_admitted=true stale_served=true withdrawn=true black_holed=false\n" +
 		"phase flood: requests=1200 errors=0 shed_bounded=true over_budget_servers=0\n" +
 		"phase recover: reconverged=true restored=true stale_pages=0 residual_slo_violations=0\n" +
+		"audit tokyo      pages=39 probes=39 coherent=39 bounded_stale=0 violating_stale=0 incoherent=0 missing_edges=0 superfluous_edges=0 ok=true\n" +
+		"audit schaumburg pages=39 probes=39 coherent=39 bounded_stale=0 violating_stale=0 incoherent=0 missing_edges=0 superfluous_edges=0 ok=true\n" +
+		"audit columbus   pages=39 probes=39 coherent=39 bounded_stale=0 violating_stale=0 incoherent=0 missing_edges=0 superfluous_edges=0 ok=true\n" +
 		"overload: seed=7 ok=true\n"
 	if got := buf.String(); got != want {
 		t.Fatalf("report not reproducible:\n--- got\n%s--- want\n%s", got, want)

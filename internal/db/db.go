@@ -83,6 +83,14 @@ func (c Change) ChangeID() string { return RowID(c.Table, c.Key) }
 // RowID renders the canonical ODG vertex name for a table row.
 func RowID(table, key string) string { return "db:" + table + ":" + key }
 
+// IndexID renders the canonical ODG vertex name for a table-prefix
+// membership index ("db:<table>:index:<prefix>"). Scan-based renderers
+// depend on it and writers that insert or delete rows under the prefix bump
+// it, so pages built from table scans refresh on membership changes. It
+// lives here, next to RowID, because readers (fragment contexts), writers
+// (site indexers) and auditors must all agree on the format.
+func IndexID(table, prefix string) string { return "db:" + table + ":index:" + prefix }
+
 // Transaction is a committed, ordered batch of changes.
 type Transaction struct {
 	LSN     int64
@@ -123,13 +131,28 @@ type DB struct {
 	name string
 	now  func() time.Time
 
-	mu     sync.RWMutex
-	tables map[string]*table
-	log    []Transaction // retained for replica catch-up
-	lsn    int64
-	subs   map[int]*subscriber
-	nextID int
-	closed bool
+	mu       sync.RWMutex
+	tables   map[string]*table
+	log      []Transaction // retained for replica catch-up
+	lsn      int64
+	subs     map[int]*subscriber
+	nextID   int
+	closed   bool
+	readHook ReadHook
+}
+
+// ReadHook observes row-level reads for dependency auditing: it receives
+// the canonical ODG vertex name (RowID / IndexID) of everything Get and
+// Scan touch. The hook runs under the database's read lock, so it must be
+// fast and must not call back into the database — collectors should only
+// append to their own storage.
+type ReadHook func(id string)
+
+// SetReadHook installs (or, with nil, removes) the read hook.
+func (d *DB) SetReadHook(h ReadHook) {
+	d.mu.Lock()
+	d.readHook = h
+	d.mu.Unlock()
 }
 
 // subscriber decouples commit from feed consumption with an unbounded
@@ -247,6 +270,12 @@ func (d *DB) Tables() []string {
 func (d *DB) Get(tbl, key string) (Row, bool, error) {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
+	if d.readHook != nil {
+		// Reported even for absent rows and tables: content derived from
+		// "nothing there" depends on it staying that way, mirroring
+		// fragment.Context.Get.
+		d.readHook(RowID(tbl, key))
+	}
 	t, ok := d.tables[tbl]
 	if !ok {
 		return Row{}, false, fmt.Errorf("%w: %q", ErrNoTable, tbl)
@@ -274,6 +303,15 @@ func (d *DB) Scan(tbl, prefix string) ([]Row, error) {
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	if d.readHook != nil {
+		for _, r := range out {
+			d.readHook(RowID(tbl, r.Key))
+		}
+		// A scan also reads the membership: which keys exist under the
+		// prefix. The index vertex expresses that, mirroring
+		// fragment.Context.Scan.
+		d.readHook(IndexID(tbl, prefix))
+	}
 	return out, nil
 }
 

@@ -31,11 +31,13 @@ import (
 	"sync"
 	"time"
 
+	"dupserve/internal/audit"
 	"dupserve/internal/cache"
 	"dupserve/internal/cluster"
 	"dupserve/internal/core"
 	"dupserve/internal/db"
 	"dupserve/internal/fault"
+	"dupserve/internal/fragment"
 	"dupserve/internal/httpserver"
 	"dupserve/internal/odg"
 	"dupserve/internal/overload"
@@ -122,6 +124,10 @@ type Complex struct {
 	// the deployment was built WithTracing; nil otherwise. It survives
 	// monitor restarts, so freshness history spans crashes.
 	Tracer *trace.Tracer
+	// Auditor samples this complex's served responses and shadow-renders
+	// them against the replica when the deployment was built WithAudit;
+	// nil otherwise.
+	Auditor *audit.Auditor
 
 	spec ComplexSpec
 	feed *db.DB
@@ -204,6 +210,7 @@ type Deployment struct {
 	tracingSLO  time.Duration
 	overload    *overload.Config
 	staleBudget time.Duration
+	audit       bool
 
 	lifeMu   sync.Mutex
 	started  bool
@@ -247,6 +254,16 @@ func WithTracing(slo time.Duration) Option {
 // requests fail over or 503 immediately.
 func WithOverload(cfg overload.Config, staleBudget time.Duration) Option {
 	return func(d *Deployment) { d.overload = &cfg; d.staleBudget = staleBudget }
+}
+
+// WithAudit gives every complex a consistency auditor: served responses
+// are sampled via a response tap on every node, and Auditor.Sweep shadow-
+// renders them against the complex's replica at a pinned LSN, classifying
+// divergence and diffing observed reads against declared ODG edges. The
+// auditor inherits the deployment's freshness SLO (WithTracing) and stale
+// budget (WithOverload) when those are configured.
+func WithAudit() Option {
+	return func(d *Deployment) { d.audit = true }
 }
 
 // New assembles a deployment cold: databases, graphs, engines, clusters,
@@ -346,6 +363,36 @@ func (d *Deployment) newComplex(cs ComplexSpec, cfg Config, feed *db.DB, feedNam
 	if d.retry != nil {
 		groupOpts = append(groupOpts, cache.WithRetryPolicy(*d.retry))
 	}
+	// Tracer and auditor exist before the cluster so node options can
+	// close over them.
+	var tracer *trace.Tracer
+	if d.tracing {
+		var topts []trace.Option
+		if d.tracingSLO > 0 {
+			topts = append(topts, trace.WithSLO(d.tracingSLO))
+		}
+		tracer = trace.New(topts...)
+	}
+	var auditor *audit.Auditor
+	if d.audit {
+		spec := cfg.Spec
+		auditor = audit.New(audit.Config{
+			Name:    cs.Name,
+			Replica: replica,
+			Build: func(sdb *db.DB, reg fragment.Registrar) (*fragment.Engine, []string, error) {
+				s, err := site.BuildReplica(spec, sdb, reg)
+				if err != nil {
+					return nil, nil, err
+				}
+				return s.Engine, s.Pages(), nil
+			},
+			Indexer:     csite.Indexer,
+			Tracer:      tracer,
+			StaleBudget: d.staleBudget,
+			SLO:         d.tracingSLO,
+		})
+	}
+
 	clCfg := cluster.Config{
 		Name:          cs.Name,
 		Frames:        cs.Frames,
@@ -355,13 +402,29 @@ func (d *Deployment) newComplex(cs ComplexSpec, cfg Config, feed *db.DB, feedNam
 		Statics:       csite.Statics(),
 		GroupOptions:  groupOpts,
 	}
+	var nodeOptFns []func(string) []httpserver.Option
 	if d.overload != nil {
 		ocfg, budget := *d.overload, d.staleBudget
 		if budget > 0 {
 			clCfg.CacheOptions = []cache.Option{cache.WithStaleRetention()}
 		}
-		clCfg.NodeOptions = func(string) []httpserver.Option {
+		nodeOptFns = append(nodeOptFns, func(string) []httpserver.Option {
 			return []httpserver.Option{httpserver.WithOverload(overload.NewLimiter(ocfg), budget)}
+		})
+	}
+	if auditor != nil {
+		nodeOptFns = append(nodeOptFns, func(string) []httpserver.Option {
+			return []httpserver.Option{httpserver.WithResponseTap(auditor.Observe)}
+		})
+	}
+	if len(nodeOptFns) > 0 {
+		fns := nodeOptFns
+		clCfg.NodeOptions = func(name string) []httpserver.Option {
+			var opts []httpserver.Option
+			for _, fn := range fns {
+				opts = append(opts, fn(name)...)
+			}
+			return opts
 		}
 	}
 	cl := cluster.NewComplex(clCfg)
@@ -375,15 +438,10 @@ func (d *Deployment) newComplex(cs ComplexSpec, cfg Config, feed *db.DB, feedNam
 		Engine:  engine,
 		Site:    csite,
 		Cluster: cl,
+		Tracer:  tracer,
+		Auditor: auditor,
 		spec:    cs,
 		feed:    feed,
-	}
-	if d.tracing {
-		var topts []trace.Option
-		if d.tracingSLO > 0 {
-			topts = append(topts, trace.WithSLO(d.tracingSLO))
-		}
-		cx.Tracer = trace.New(topts...)
 	}
 	return cx, nil
 }
@@ -518,14 +576,18 @@ func (d *Deployment) Stop() { _ = d.Shutdown(context.Background()) }
 // performed across all complexes.
 func (d *Deployment) MonitorRestarts() int64 { return d.restarts.Value() }
 
-// RegisterMetrics publishes deployment-level recovery metrics: the
-// monitor_restarts_total family, labeled per complex.
+// RegisterMetrics publishes deployment-level recovery metrics — the
+// monitor_restarts_total family, labeled per complex — plus each complex's
+// audit_* families when the deployment was built WithAudit.
 func (d *Deployment) RegisterMetrics(reg *stats.Registry) {
 	for _, name := range d.order {
 		cx := d.complexes[name]
 		reg.RegisterCounter("monitor_restarts_total",
 			"trigger monitors restarted from checkpoint by supervision",
 			stats.Labels{"complex": name}, &cx.restarts)
+		if cx.Auditor != nil {
+			cx.Auditor.RegisterMetrics(reg, stats.Labels{"complex": name})
+		}
 	}
 }
 

@@ -223,9 +223,10 @@ func (c *Context) Scan(table, prefix string) ([]db.Row, error) {
 
 // IndexID renders the ODG vertex name for a table-prefix membership index.
 // Writers that insert or delete rows under a prefix include this ID in
-// their change set so scan-based pages refresh.
+// their change set so scan-based pages refresh. The canonical format lives
+// in db.IndexID so read-tracking views report the same vertex names.
 func IndexID(table, prefix string) string {
-	return "db:" + table + ":index:" + prefix
+	return db.IndexID(table, prefix)
 }
 
 // Include renders (or reuses the cached copy of) a fragment, splices its

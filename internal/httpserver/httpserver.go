@@ -118,6 +118,10 @@ type Server struct {
 	draining atomic.Bool
 	inflight atomic.Int64
 
+	// tap observes responses for consistency auditing; nil without
+	// WithResponseTap.
+	tap ResponseTap
+
 	requests    stats.Counter
 	hits        stats.Counter
 	misses      stats.Counter
@@ -125,9 +129,35 @@ type Server struct {
 	notFound    stats.Counter
 	errs        stats.Counter
 	bytesOut    stats.Counter
-	servedStale stats.Counter // degraded responses from the stale side-table
-	shed        stats.Counter // requests refused with 503 under overload
-	staleAgeMax stats.Gauge   // worst staleness ever served, microseconds
+	servedStale stats.Counter    // degraded responses from the stale side-table
+	shed        stats.Counter    // requests refused with 503 under overload
+	staleAgeMax stats.Gauge      // worst staleness ever served, microseconds
+	staleAge    *stats.Histogram // per-response staleness of degraded serves, seconds
+}
+
+// ResponseSample describes one served response as seen by a ResponseTap:
+// which node satisfied which path, how, with which bytes. Object is the
+// served cache object (nil for OutcomeShed); StaleAge is the age of the
+// retained copy for OutcomeStale and zero otherwise — the per-response age,
+// not a high-water mark.
+type ResponseSample struct {
+	Node     string
+	Path     string
+	Outcome  Outcome
+	Object   *cache.Object
+	StaleAge time.Duration
+}
+
+// ResponseTap observes dynamic responses (hit, miss, stale, shed) as they
+// are served. It runs on the request path, so it must be cheap; consistency
+// auditors use it to sample served bytes for later shadow-render
+// verification. Static, not-found and error outcomes are not tapped — they
+// carry no cached dynamic content to audit.
+type ResponseTap func(ResponseSample)
+
+// WithResponseTap installs a response tap.
+func WithResponseTap(tap ResponseTap) Option {
+	return func(s *Server) { s.tap = tap }
 }
 
 // Option configures a Server.
@@ -189,6 +219,9 @@ func New(name string, c *cache.Cache, gen core.Generator, version VersionFunc, o
 		gen:     gen,
 		version: version,
 		static:  make(map[string]*cache.Object),
+		// Bounds chosen around typical freshness budgets (seconds to the
+		// paper's one-minute SLO).
+		staleAge: stats.NewHistogram(0.001, 0.01, 0.1, 1, 5, 15, 60),
 	}
 	for _, o := range opts {
 		o(s)
@@ -290,6 +323,9 @@ func (s *Server) Serve(path string) (*cache.Object, Outcome, error) {
 		if obj, ok := s.cache.Get(cache.Key(path)); ok {
 			s.hits.Inc()
 			s.bytesOut.Add(int64(len(obj.Value)))
+			if s.tap != nil {
+				s.tap(ResponseSample{Node: s.name, Path: path, Outcome: OutcomeHit, Object: obj})
+			}
 			return obj, OutcomeHit, nil
 		}
 	}
@@ -322,6 +358,9 @@ func (s *Server) Serve(path string) (*cache.Object, Outcome, error) {
 	}
 	s.misses.Inc()
 	s.bytesOut.Add(int64(len(obj.Value)))
+	if s.tap != nil {
+		s.tap(ResponseSample{Node: s.name, Path: path, Outcome: OutcomeMiss, Object: obj})
+	}
 	return obj, OutcomeMiss, nil
 }
 
@@ -335,11 +374,18 @@ func (s *Server) degrade(path string) (*cache.Object, Outcome, error) {
 		if obj, age, ok := s.cache.GetStale(cache.Key(path), s.staleBudget); ok {
 			s.servedStale.Inc()
 			s.staleAgeMax.Set(age.Microseconds()) // Max() keeps the worst ever served
+			s.staleAge.Observe(age.Seconds())     // per-response distribution
 			s.bytesOut.Add(int64(len(obj.Value)))
+			if s.tap != nil {
+				s.tap(ResponseSample{Node: s.name, Path: path, Outcome: OutcomeStale, Object: obj, StaleAge: age})
+			}
 			return obj, OutcomeStale, nil
 		}
 	}
 	s.shed.Inc()
+	if s.tap != nil {
+		s.tap(ResponseSample{Node: s.name, Path: path, Outcome: OutcomeShed})
+	}
 	return nil, OutcomeShed, fmt.Errorf("%w: %q: %w", ErrOverloaded, s.name, overload.ErrShed)
 }
 
@@ -459,6 +505,8 @@ func (s *Server) RegisterMetrics(reg *stats.Registry, extra stats.Labels) {
 	reg.RegisterFunc("served_stale_age_max_seconds",
 		"worst staleness ever served; the freshness budget bounds it", labels,
 		func() float64 { return float64(s.staleAgeMax.Max()) / 1e6 })
+	reg.RegisterHistogram("served_stale_age_seconds",
+		"per-response staleness of degraded responses", labels, s.staleAge)
 	reg.RegisterFunc("http_hit_ratio", "dynamic hits/(hits+misses) since start", labels,
 		func() float64 { return s.Stats().HitRate() })
 	if s.limiter != nil {
