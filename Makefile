@@ -5,10 +5,12 @@ GO ?= go
 # whose whole point is concurrent crash/restart, plus the overload/admission
 # path (limiter, degradation serving) which is exercised by many goroutines
 # at once, plus the auditor whose Observe runs on every node's request path
-# concurrently with sweeps; check runs them under the race detector.
-RACE_PKGS = ./internal/stats ./internal/trace ./internal/trigger ./internal/core ./internal/cache ./internal/db ./internal/fault ./internal/deploy ./internal/overload ./internal/httpserver ./internal/audit
+# concurrently with sweeps, plus the serve-span/journal/flight-recorder
+# layer whose collector is written from every request goroutine; check runs
+# them under the race detector.
+RACE_PKGS = ./internal/stats ./internal/trace ./internal/trigger ./internal/core ./internal/cache ./internal/db ./internal/fault ./internal/deploy ./internal/overload ./internal/httpserver ./internal/audit ./internal/obs
 
-.PHONY: all build test race check chaos audit bench bench-overload run
+.PHONY: all build test race check chaos audit flight bench bench-overload run
 
 all: check
 
@@ -34,6 +36,12 @@ chaos:
 # asserting zero incoherent pages and a complete, minimal ODG.
 audit:
 	$(GO) run ./cmd/simulate -audit -seed 1
+
+# flight drives the anomaly flight recorder through one of each trigger
+# (SLO violation, monitor crash, shed, incoherent page) and prints the
+# dump inventory plus the canonical-bytes digest.
+flight:
+	$(GO) run ./cmd/simulate -flight -seed 1
 
 # bench-overload records serve-path throughput, p50/p99 latency, and
 # hit/stale/shed rates at 1x, 3x, and 5x of estimated render capacity.

@@ -1,13 +1,17 @@
 // Command loadgen drives HTTP load at a running olympicsd (or any server
 // exposing a /sitemap of page paths), reporting throughput, latency
-// percentiles, and the cache-hit share observed via the X-Cache header —
-// the live counterpart of the paper's load measurements.
+// percentiles broken down per serve outcome (hit/miss/stale/shed), and the
+// cache-hit share observed via the X-Cache header — the live counterpart of
+// the paper's load measurements. When the server exposes /debug/serve, the
+// report closes with the server-side span percentiles for the same run, so
+// client-observed and server-measured latency can be compared directly.
 //
 //	loadgen -url http://localhost:8098 -c 16 -duration 10s
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -15,6 +19,7 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -44,6 +49,7 @@ func main() {
 		bytesIn                               atomic.Int64
 		latMu                                 sync.Mutex
 		lat                                   stats.Summary
+		byOutcome                             = map[string]*stats.Summary{}
 	)
 	deadline := time.Now().Add(*duration)
 	var wg sync.WaitGroup
@@ -66,10 +72,24 @@ func main() {
 				el := time.Since(t0)
 				requests.Add(1)
 				bytesIn.Add(n)
+				// Outcome class: shed surfaces as a 503, everything
+				// else carries its class in the X-Cache header.
+				outcome := resp.Header.Get("X-Cache")
+				if resp.StatusCode == http.StatusServiceUnavailable {
+					outcome = "shed"
+				}
 				latMu.Lock()
 				lat.Observe(el.Seconds() * 1000)
+				if outcome != "" {
+					s := byOutcome[outcome]
+					if s == nil {
+						s = &stats.Summary{}
+						byOutcome[outcome] = s
+					}
+					s.Observe(el.Seconds() * 1000)
+				}
 				latMu.Unlock()
-				switch resp.Header.Get("X-Cache") {
+				switch outcome {
 				case "hit":
 					hits.Add(1)
 				case "miss":
@@ -94,9 +114,64 @@ func main() {
 	latMu.Lock()
 	fmt.Printf("latency ms: p50 %.2f  p90 %.2f  p99 %.2f  max %.2f\n",
 		lat.Percentile(50), lat.Percentile(90), lat.Percentile(99), lat.Max())
+	classes := make([]string, 0, len(byOutcome))
+	for o := range byOutcome {
+		classes = append(classes, o)
+	}
+	sort.Strings(classes)
+	for _, o := range classes {
+		s := byOutcome[o]
+		fmt.Printf("  %-8s  n=%-8d p50 %.2f  p95 %.2f  p99 %.2f\n",
+			o, s.Count(), s.Percentile(50), s.Percentile(95), s.Percentile(99))
+	}
 	latMu.Unlock()
+	printServerSpans(*base + "/debug/serve")
 	if errs.Load() > total/10 {
 		os.Exit(1)
+	}
+}
+
+// printServerSpans fetches the server's serve-path span statistics and
+// prints its per-outcome latency percentiles alongside the client-side
+// numbers above. Servers without /debug/serve are skipped silently — the
+// client-side breakdown already printed is the fallback.
+func printServerSpans(url string) {
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return
+	}
+	var body struct {
+		Summary struct {
+			Recorded int64   `json:"recorded"`
+			P50MS    float64 `json:"p50_ms"`
+			P95MS    float64 `json:"p95_ms"`
+			P99MS    float64 `json:"p99_ms"`
+			Outcomes []struct {
+				Outcome string  `json:"outcome"`
+				Count   int64   `json:"count"`
+				P50MS   float64 `json:"p50_ms"`
+				P95MS   float64 `json:"p95_ms"`
+				P99MS   float64 `json:"p99_ms"`
+			} `json:"outcomes"`
+		} `json:"summary"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return
+	}
+	sum := body.Summary
+	if sum.Recorded == 0 {
+		return
+	}
+	fmt.Printf("server ms:  spans=%d  p50 %.3f  p95 %.3f  p99 %.3f\n",
+		sum.Recorded, sum.P50MS, sum.P95MS, sum.P99MS)
+	for _, o := range sum.Outcomes {
+		fmt.Printf("  %-8s  n=%-8d p50 %.3f  p95 %.3f  p99 %.3f\n",
+			o.Outcome, o.Count, o.P50MS, o.P95MS, o.P99MS)
 	}
 }
 

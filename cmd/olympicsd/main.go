@@ -14,10 +14,17 @@
 //	curl    localhost:8098/stats
 //	curl    localhost:8098/sitemap           # all page paths (for loadgen)
 //	curl    localhost:8098/debug/audit       # consistency audit sweep (JSON)
+//	curl    localhost:8098/debug/serve       # serve-path span statistics
+//	curl    localhost:8098/debug/journal     # structured event journal
+//	curl    localhost:8098/debug/flight      # latest flight-recorder dump
+//
+// Every /debug endpoint is read-only (non-GET gets 405) and answers a JSON
+// 503 while the site is still prerendering, so probes always parse.
 package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -30,15 +37,17 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dupserve/internal/audit"
 	"dupserve/internal/cache"
 	"dupserve/internal/core"
 	"dupserve/internal/db"
-	"dupserve/internal/fragment"
 	"dupserve/internal/dispatch"
+	"dupserve/internal/fragment"
 	"dupserve/internal/httpserver"
+	"dupserve/internal/obs"
 	"dupserve/internal/odg"
 	"dupserve/internal/site"
 	"dupserve/internal/stats"
@@ -83,7 +92,21 @@ func main() {
 	tracer := trace.New(trace.WithSLO(*slo), trace.WithRingSize(*traceRing))
 	tracer.RegisterMetrics(reg)
 
+	// Serve-path observability: a span collector the dispatcher mints
+	// request spans into, a structured journal the tracer and auditor
+	// publish anomalies to, and the flight recorder behind /debug/flight.
+	suite := obs.NewSuite(obs.WithName("nagano"),
+		obs.WithTracer(tracer), obs.WithMetrics(reg))
+	suite.RegisterMetrics(reg, nil)
+	tracer.SetOnViolation(func(tr trace.Trace) {
+		suite.Journal.Event(obs.LevelWarn, "trace", "slo_violation",
+			"propagation exceeded the freshness SLO",
+			"lsn", strconv.FormatInt(tr.LSN, 10))
+	})
+
 	master := db.New("nagano-master")
+	probe := obs.NewReadProbe()
+	master.SetReadHook(probe.Hook)
 	graph := odg.New()
 	group := cache.NewGroup()
 	master.RegisterMetrics(reg, stats.Labels{"db": "nagano-master"})
@@ -123,6 +146,11 @@ func main() {
 		Tracer:      tracer,
 		StaleBudget: *slo,
 		SLO:         *slo,
+		OnIncoherent: func(page string) {
+			suite.Journal.Event(obs.LevelError, "audit", "incoherent",
+				"served page diverges from shadow render at the same LSN",
+				"page", page)
+		},
 	})
 	aud.RegisterMetrics(reg, nil)
 
@@ -135,34 +163,52 @@ func main() {
 		c := cache.New(name)
 		group.Add(c)
 		srv := httpserver.New(name, c, gen, master.LSN,
-			httpserver.WithResponseTap(aud.Observe))
+			httpserver.WithResponseTap(aud.Observe),
+			httpserver.WithReadProbe(probe))
 		for p, body := range statics {
 			srv.SetStatic(p, body, "text/html; charset=utf-8")
 		}
 		srv.RegisterMetrics(reg, nil)
 		pool = append(pool, srv)
 	}
-	nd := dispatch.New(dispatch.Config{Name: "nd", Nodes: pool})
+	nd := dispatch.New(dispatch.Config{Name: "nd", Nodes: pool},
+		dispatch.WithObserver(suite.Collector))
 	engine.RegisterMetrics(reg, nil)
 	group.RegisterMetrics(reg, nil)
 	nd.RegisterMetrics(reg, nil)
 
-	// Prime every cache, then let DUP keep it fresh.
-	log.Printf("prerendering %d pages into %d node caches...", len(st.Pages()), *nodes)
-	if err := st.PrerenderAll(master.LSN(), func(o *cache.Object) { group.BroadcastPut(o) }); err != nil {
-		log.Fatal(err)
-	}
-
 	// Trigger monitor: the asynchronous component watching the database.
-	mon := trigger.Start(master, engine,
+	// Constructed here (the handlers below reference it) but started only
+	// after the caches are primed, with the checkpoint pinned at the
+	// prerender LSN so nothing is replayed twice.
+	mon := trigger.New(trigger.Config{
+		Name:        "nagano",
+		DB:          master,
+		Engine:      engine,
+		StartLSN:    master.LSN(),
+		BatchWindow: 20 * time.Millisecond,
+	},
 		trigger.WithIndexer(st.Indexer),
-		trigger.WithBatchWindow(20*time.Millisecond),
 		trigger.WithTracer(tracer))
-	defer mon.Stop()
 	mon.RegisterMetrics(reg, nil)
 
-	// The games: results and news arrive on a timer.
-	go runGames(st, *tick, *seed)
+	// Startup runs in the background so the listener comes up immediately
+	// and the /debug surface can answer "starting" instead of hanging.
+	// Once every cache is primed and the monitor is consuming the change
+	// feed, ready flips and the games feed begins.
+	var ready atomic.Bool
+	go func() {
+		log.Printf("prerendering %d pages into %d node caches...", len(st.Pages()), *nodes)
+		if err := st.PrerenderAll(master.LSN(), func(o *cache.Object) { group.BroadcastPut(o) }); err != nil {
+			log.Fatal(err)
+		}
+		if err := mon.Start(context.Background()); err != nil {
+			log.Fatal(err)
+		}
+		ready.Store(true)
+		log.Printf("ready: %d pages primed", len(st.Pages()))
+		runGames(st, *tick, *seed)
+	}()
 
 	// Access log: in-memory for the /logreport endpoint, optionally teed
 	// to a file — the log-driven methodology behind the 1998 redesign.
@@ -178,6 +224,43 @@ func main() {
 	}
 	access := weblog.NewWriter(logSink)
 
+	// writeJSON is the one place debug responses pick up their Content-Type
+	// and encoder settings; guard makes a debug handler read-only (405 on
+	// non-GET, with Allow) and answers a JSON 503 until startup finishes.
+	writeJSON := func(w http.ResponseWriter, status int, v any) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(v); err != nil {
+			log.Printf("debug encode: %v", err)
+		}
+	}
+	guard := func(h http.HandlerFunc) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			if r.Method != http.MethodGet && r.Method != http.MethodHead {
+				w.Header().Set("Allow", "GET, HEAD")
+				http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+				return
+			}
+			if !ready.Load() {
+				w.Header().Set("Retry-After", "1")
+				writeJSON(w, http.StatusServiceUnavailable,
+					map[string]any{"error": "starting: prerendering site"})
+				return
+			}
+			h(w, r)
+		}
+	}
+	queryN := func(r *http.Request, def int) int {
+		if v := r.URL.Query().Get("n"); v != "" {
+			if parsed, err := strconv.Atoi(v); err == nil {
+				return parsed
+			}
+		}
+		return def
+	}
+
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		client := r.RemoteAddr
@@ -189,6 +272,11 @@ func main() {
 		case httpserver.OutcomeNotFound:
 			access.Log(client, r.URL.Path, http.StatusNotFound, 0)
 			http.NotFound(w, r)
+			return
+		case httpserver.OutcomeShed:
+			access.Log(client, r.URL.Path, http.StatusServiceUnavailable, 0)
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "overloaded", http.StatusServiceUnavailable)
 			return
 		case httpserver.OutcomeError:
 			access.Log(client, r.URL.Path, http.StatusInternalServerError, 0)
@@ -208,10 +296,7 @@ func main() {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		enc.Encode(rep)
+		writeJSON(w, http.StatusOK, rep)
 	})
 	mux.HandleFunc("/sitemap", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -219,59 +304,82 @@ func main() {
 	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		agg := group.AggregateStats()
-		out := map[string]any{
+		writeJSON(w, http.StatusOK, map[string]any{
 			"cache":      agg,
 			"hitRate":    agg.HitRate(),
 			"engine":     engine.Stats(),
 			"trigger":    mon.Stats(),
 			"dispatcher": nd.Stats(),
+			"serve":      suite.Collector.Snapshot(),
 			"freshness":  tracer.Snapshot(),
 			"dbLSN":      master.LSN(),
 			"pages":      len(st.Pages()),
 			"currentDay": st.CurrentDay(),
-		}
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		enc.Encode(out)
+		})
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if !ready.Load() {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "starting", http.StatusServiceUnavailable)
+			return
+		}
 		fmt.Fprintln(w, "ok")
 	})
 
 	// Observability surface: Prometheus text, structured JSON, recent
-	// propagation traces, and pprof.
-	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, r *http.Request) {
+	// propagation traces, serve spans, the event journal, flight-recorder
+	// dumps, and pprof. Everything under /debug goes through guard.
+	mux.HandleFunc("/debug/metrics", guard(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		if err := reg.WriteText(w); err != nil {
 			log.Printf("metrics exposition: %v", err)
 		}
-	})
-	mux.HandleFunc("/debug/metrics.json", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		enc.Encode(map[string]any{
+	}))
+	mux.HandleFunc("/debug/metrics.json", guard(func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
 			"metrics":     reg.Snapshot(),
 			"propagation": tracer.Snapshot(),
 		})
-	})
-	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
-		n := 50
-		if v := r.URL.Query().Get("n"); v != "" {
-			if parsed, err := strconv.Atoi(v); err == nil {
-				n = parsed
-			}
-		}
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		enc.Encode(map[string]any{
+	}))
+	mux.HandleFunc("/debug/traces", guard(func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
 			"summary": tracer.Snapshot(),
-			"traces":  tracer.Recent(n),
+			"traces":  tracer.Recent(queryN(r, 50)),
 		})
-	})
-	mux.HandleFunc("/debug/audit", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("/debug/serve", guard(func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"summary": suite.Collector.Snapshot(),
+			"spans":   suite.Collector.Recent(queryN(r, 50)),
+		})
+	}))
+	mux.HandleFunc("/debug/journal", guard(func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"armed":    suite.Journal.Armed(),
+			"appended": suite.Journal.Appended(),
+			"events":   suite.Journal.Recent(queryN(r, 50)),
+		})
+	}))
+	mux.HandleFunc("/debug/flight", guard(func(w http.ResponseWriter, r *http.Request) {
+		rec := suite.Recorder
+		if r.URL.Query().Get("capture") == "1" {
+			writeJSON(w, http.StatusOK, rec.Capture("manual capture via /debug/flight"))
+			return
+		}
+		dump, ok := rec.Latest()
+		if !ok {
+			writeJSON(w, http.StatusNotFound, map[string]any{
+				"error": "no dumps captured; trip a trigger or pass ?capture=1",
+			})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"captured": rec.Captured(),
+			"kinds":    rec.Kinds(),
+			"latest":   dump,
+		})
+	}))
+	mux.HandleFunc("/debug/audit", guard(func(w http.ResponseWriter, r *http.Request) {
 		rep, err := aud.Sweep()
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
@@ -281,12 +389,12 @@ func main() {
 		if err := rep.WriteJSON(w); err != nil {
 			log.Printf("audit report: %v", err)
 		}
-	})
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}))
+	mux.HandleFunc("/debug/pprof/", guard(pprof.Index))
+	mux.HandleFunc("/debug/pprof/cmdline", guard(pprof.Cmdline))
+	mux.HandleFunc("/debug/pprof/profile", guard(pprof.Profile))
+	mux.HandleFunc("/debug/pprof/symbol", guard(pprof.Symbol))
+	mux.HandleFunc("/debug/pprof/trace", guard(pprof.Trace))
 
 	log.Printf("olympicsd listening on %s (%d pages, %d nodes)", *addr, len(st.Pages()), *nodes)
 	log.Fatal(http.ListenAndServe(*addr, mux))

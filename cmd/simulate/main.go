@@ -47,6 +47,14 @@
 //
 //	simulate -audit -seed 1
 //
+// Flight mode drives the anomaly flight recorder through one instance of
+// each trigger condition (freshness-SLO violation, monitor crash, overload
+// shed, audit-incoherent page) on a sequenced single-complex deployment and
+// prints the dump inventory plus a digest of the canonical dump bytes,
+// which is identical across runs with the same seed:
+//
+//	simulate -flight -seed 1
+//
 // Traffic runs at a configurable fraction of the paper's 634.7M hits
 // (default 1/1000); printed hit figures are rescaled back to paper volume
 // for side-by-side comparison.
@@ -86,6 +94,7 @@ func main() {
 	rounds := flag.Int("rounds", 5, "fault rounds for -chaos")
 	overloadMode := flag.Bool("overload", false, "run only the 5:1 overload scenario")
 	auditMode := flag.Bool("audit", false, "run only the standalone consistency audit: commit results under load, converge, and shadow-render every page of every complex")
+	flightMode := flag.Bool("flight", false, "run the flight-recorder scenario: provoke each anomaly trigger once and report the captured black-box dumps")
 	overloadBench := flag.String("overload-bench", "", "write the 1x/3x/5x overload benchmark as JSON to this file")
 	flag.Parse()
 
@@ -109,6 +118,18 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "overload benchmark written to %s\n", *overloadBench)
+		return
+	}
+
+	if *flightMode {
+		res, err := chaos.RunFlight(chaos.FlightConfig{Seed: *seed, Out: os.Stdout})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "flight:", err)
+			os.Exit(1)
+		}
+		if !res.OK {
+			os.Exit(1)
+		}
 		return
 	}
 

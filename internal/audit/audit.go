@@ -90,6 +90,10 @@ type Config struct {
 	// SampleEvery keeps one response in every n observed (default 1: keep
 	// all).
 	SampleEvery int
+	// OnIncoherent, if set, is called once per incoherent page found by a
+	// sweep, in sorted page order (on the sweeping goroutine). The
+	// observability journal wires in here; the callback must not block.
+	OnIncoherent func(page string)
 }
 
 // sample is one served response captured for the next sweep.
@@ -293,6 +297,11 @@ func (a *Auditor) Sweep() (*Report, error) {
 		rep.IncoherentPages = append(rep.IncoherentPages, p)
 	}
 	sort.Strings(rep.IncoherentPages)
+	if a.cfg.OnIncoherent != nil {
+		for _, p := range rep.IncoherentPages {
+			a.cfg.OnIncoherent(p)
+		}
+	}
 	sortEdges(rep.MissingEdges)
 	sortEdges(rep.SuperfluousEdges)
 

@@ -69,8 +69,9 @@ type Group struct {
 	mu     sync.RWMutex
 	caches map[string]*Cache
 
-	putHook PutHook
-	retry   RetryPolicy
+	putHook   PutHook
+	retry     RetryPolicy
+	downgrade func(node string, key Key)
 
 	pushRetries    stats.Counter // retry attempts after a failed push
 	pushFailures   stats.Counter // individual failed push attempts
@@ -90,6 +91,14 @@ func WithPutHook(h PutHook) GroupOption {
 // fails. Without this option the default policy applies.
 func WithRetryPolicy(p RetryPolicy) GroupOption {
 	return func(g *Group) { g.retry = p.normalize() }
+}
+
+// WithDowngradeHook installs a callback fired each time a push exhausts its
+// retries and is downgraded to an invalidation — the moment a node silently
+// trades freshness for safety. The observability journal wires in here. The
+// callback runs on the broadcasting goroutine and must not block.
+func WithDowngradeHook(h func(node string, key Key)) GroupOption {
+	return func(g *Group) { g.downgrade = h }
 }
 
 // NewGroup returns an empty group.
@@ -154,7 +163,7 @@ func (g *Group) Members() []*Cache {
 func (g *Group) BroadcastPut(obj *Object) int {
 	members := g.Members()
 	g.mu.RLock()
-	hook, retry := g.putHook, g.retry
+	hook, retry, downgrade := g.putHook, g.retry, g.downgrade
 	g.mu.RUnlock()
 
 	fresh := 0
@@ -167,7 +176,7 @@ func (g *Group) BroadcastPut(obj *Object) int {
 			fresh++
 			continue
 		}
-		if g.pushWithRetry(hook, retry, c, &o) {
+		if g.pushWithRetry(hook, retry, downgrade, c, &o) {
 			fresh++
 		}
 	}
@@ -177,7 +186,7 @@ func (g *Group) BroadcastPut(obj *Object) int {
 // pushWithRetry drives one node's push through the hook, retrying per the
 // policy and invalidating the node's entry on exhaustion. Reports whether
 // the node ended up with the fresh object.
-func (g *Group) pushWithRetry(hook PutHook, retry RetryPolicy, c *Cache, o *Object) bool {
+func (g *Group) pushWithRetry(hook PutHook, retry RetryPolicy, downgrade func(string, Key), c *Cache, o *Object) bool {
 	backoff := retry.Backoff
 	for attempt := 1; ; attempt++ {
 		err := hook(c.Name(), o, attempt)
@@ -190,6 +199,9 @@ func (g *Group) pushWithRetry(hook PutHook, retry RetryPolicy, c *Cache, o *Obje
 			// Exhausted: never leave the stale version serveable.
 			c.Invalidate(o.Key)
 			g.pushDowngrades.Inc()
+			if downgrade != nil {
+				downgrade(c.Name(), o.Key)
+			}
 			return false
 		}
 		g.pushRetries.Inc()

@@ -33,6 +33,7 @@ import (
 	"dupserve/internal/cache"
 	"dupserve/internal/deploy"
 	"dupserve/internal/fault"
+	"dupserve/internal/obs"
 	"dupserve/internal/routing"
 	"dupserve/internal/site"
 )
@@ -90,6 +91,12 @@ type Result struct {
 	// cleared and the plant converged, every page of every complex must be
 	// provably coherent against a shadow render.
 	Audit AuditSummary
+	// Dumps are the flight-recorder black boxes captured across every
+	// complex during the tournament. How many there are — and which batch a
+	// crash landed on — is timing-dependent, so dumps appear in the Result
+	// for inspection but never in the deterministic report (see RunFlight
+	// for the sequenced, byte-reproducible variant).
+	Dumps []obs.Dump
 	// OK is true when every round converged with zero losses, zero stale
 	// pages, and zero residual SLO violations, and the audit sweep found
 	// the plant coherent.
@@ -162,6 +169,7 @@ func Run(cfg Config) (*Result, error) {
 		}),
 		deploy.WithTracing(cfg.SLO),
 		deploy.WithAudit(),
+		deploy.WithObservability(),
 	)
 	if err != nil {
 		return nil, err
@@ -253,6 +261,11 @@ func Run(cfg Config) (*Result, error) {
 	res.MonitorRestarts = d.MonitorRestarts()
 	for _, k := range fault.Kinds() {
 		res.Injected[k] = inj.Injected(k)
+	}
+	for _, cx := range d.Complexes() {
+		if cx.Obs != nil {
+			res.Dumps = append(res.Dumps, cx.Obs.Recorder.Dumps()...)
+		}
 	}
 
 	// The consistency audit closes the tournament: with every fault cleared

@@ -1,0 +1,104 @@
+package chaos
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunFlightCapturesEveryAnomalyKind drives the flight scenario once and
+// checks that each provoked anomaly produced at least one dump with
+// correlated context: serve spans carrying observed LSNs, propagation
+// traces, and the triggering journal events.
+func TestRunFlightCapturesEveryAnomalyKind(t *testing.T) {
+	res, err := RunFlight(FlightConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK {
+		t.Fatalf("kinds = %v, want all of %v", res.Kinds, flightTriggers)
+	}
+	byKind := map[string][]int{}
+	for i, d := range res.Dumps {
+		byKind[d.Kind] = append(byKind[d.Kind], i)
+	}
+	for _, want := range flightTriggers {
+		if len(byKind[want]) == 0 {
+			t.Errorf("no dump for trigger %s", want)
+		}
+	}
+	for _, d := range res.Dumps {
+		if len(d.Spans) == 0 {
+			t.Errorf("dump %s has no serve spans", d.Kind)
+		}
+		if len(d.Traces) == 0 {
+			t.Errorf("dump %s has no propagation traces", d.Kind)
+		}
+		if len(d.Events) == 0 {
+			t.Errorf("dump %s has no journal events", d.Kind)
+		}
+	}
+	// Serve spans must correlate back to propagation: at least one span in
+	// the final dump observed a positive LSN, and at least one render span
+	// counted its database reads.
+	last := res.Dumps[len(res.Dumps)-1]
+	var sawLSN, sawReads bool
+	for _, s := range last.Spans {
+		if s.LSN > 0 {
+			sawLSN = true
+		}
+		if s.DBReads > 0 {
+			sawReads = true
+		}
+	}
+	if !sawLSN {
+		t.Error("no span observed an LSN")
+	}
+	if !sawReads {
+		t.Error("no span counted database reads")
+	}
+	if !strings.Contains(string(res.Canonical), `"outcome":"miss"`) {
+		t.Error("canonical bytes carry no miss span")
+	}
+}
+
+// TestRunFlightIsByteReproducible runs the scenario twice with the same seed
+// and requires the canonical dump bytes to match exactly — the flight
+// recorder's black boxes are a deterministic artifact of (seed, scenario),
+// not of scheduling.
+func TestRunFlightIsByteReproducible(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full flight runs")
+	}
+	a, err := RunFlight(FlightConfig{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunFlight(FlightConfig{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.OK || !b.OK {
+		t.Fatalf("ok = %t/%t, want both true", a.OK, b.OK)
+	}
+	if !bytes.Equal(a.Canonical, b.Canonical) {
+		d1, d2 := a.Canonical, b.Canonical
+		i := 0
+		for i < len(d1) && i < len(d2) && d1[i] == d2[i] {
+			i++
+		}
+		lo := i - 120
+		if lo < 0 {
+			lo = 0
+		}
+		hi1, hi2 := i+120, i+120
+		if hi1 > len(d1) {
+			hi1 = len(d1)
+		}
+		if hi2 > len(d2) {
+			hi2 = len(d2)
+		}
+		t.Fatalf("canonical bytes diverge at offset %d:\n run1: …%s…\n run2: …%s…",
+			i, d1[lo:hi1], d2[lo:hi2])
+	}
+}

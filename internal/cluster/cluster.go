@@ -12,6 +12,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -45,8 +46,19 @@ func (n *Node) Name() string { return n.name }
 
 // Serve implements dispatch.Node, failing while the node is down.
 func (n *Node) Serve(path string) (*cache.Object, httpserver.Outcome, error) {
+	return n.ServeCtx(context.Background(), path)
+}
+
+// ServeCtx forwards the request context — and with it any serve span the
+// dispatcher minted — through the kill switch to the inner node.
+func (n *Node) ServeCtx(ctx context.Context, path string) (*cache.Object, httpserver.Outcome, error) {
 	if n.downed.Load() {
 		return nil, httpserver.OutcomeError, fmt.Errorf("%w: %s", ErrNodeDown, n.name)
+	}
+	if cs, ok := n.inner.(interface {
+		ServeCtx(context.Context, string) (*cache.Object, httpserver.Outcome, error)
+	}); ok {
+		return cs.ServeCtx(ctx, path)
 	}
 	return n.inner.Serve(path)
 }
@@ -217,6 +229,12 @@ func (c *Complex) Name() string { return c.name }
 // dispatcher, so a Complex plugs directly into the routing layer.
 func (c *Complex) Serve(path string) (*cache.Object, httpserver.Outcome, error) {
 	return c.Dispatcher.Serve(path)
+}
+
+// ServeCtx forwards the request context through the complex's dispatcher so
+// serve spans survive the routing layer's complex indirection.
+func (c *Complex) ServeCtx(ctx context.Context, path string) (*cache.Object, httpserver.Outcome, error) {
+	return c.Dispatcher.ServeCtx(ctx, path)
 }
 
 // NodeByName returns the named node.

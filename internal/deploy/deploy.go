@@ -28,6 +28,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
@@ -36,9 +37,11 @@ import (
 	"dupserve/internal/cluster"
 	"dupserve/internal/core"
 	"dupserve/internal/db"
+	"dupserve/internal/dispatch"
 	"dupserve/internal/fault"
 	"dupserve/internal/fragment"
 	"dupserve/internal/httpserver"
+	"dupserve/internal/obs"
 	"dupserve/internal/odg"
 	"dupserve/internal/overload"
 	"dupserve/internal/routing"
@@ -128,6 +131,10 @@ type Complex struct {
 	// them against the replica when the deployment was built WithAudit;
 	// nil otherwise.
 	Auditor *audit.Auditor
+	// Obs is this complex's observability suite — serve-span collector,
+	// event journal, flight recorder — when the deployment was built
+	// WithObservability; nil otherwise.
+	Obs *obs.Suite
 
 	spec ComplexSpec
 	feed *db.DB
@@ -211,6 +218,8 @@ type Deployment struct {
 	overload    *overload.Config
 	staleBudget time.Duration
 	audit       bool
+	obsEnabled  bool
+	obsOpts     []obs.Option
 
 	lifeMu   sync.Mutex
 	started  bool
@@ -254,6 +263,19 @@ func WithTracing(slo time.Duration) Option {
 // requests fail over or 503 immediately.
 func WithOverload(cfg overload.Config, staleBudget time.Duration) Option {
 	return func(d *Deployment) { d.overload = &cfg; d.staleBudget = staleBudget }
+}
+
+// WithObservability gives every complex an obs.Suite: the dispatcher mints
+// a serve span per request and the serving node stamps stage boundaries;
+// state transitions across the pipeline (trigger crashes and replays, cache
+// push downgrades, overload shed flips, routing withdrawals, audit
+// incoherence, freshness-SLO violations) land in the complex's journal as
+// typed events; and the flight recorder snapshots spans, propagation
+// traces, and events into a black-box dump whenever a trigger condition
+// fires. opts (clock, ring sizes, shed-burst threshold) apply to every
+// complex's suite.
+func WithObservability(opts ...obs.Option) Option {
+	return func(d *Deployment) { d.obsEnabled = true; d.obsOpts = opts }
 }
 
 // WithAudit gives every complex a consistency auditor: served responses
@@ -321,6 +343,24 @@ func New(cfg Config, opts ...Option) (*Deployment, error) {
 	if err := d.Router.AdvertiseSpread(d.order, cfg.PrimaryCost, cfg.SecondaryCost); err != nil {
 		return nil, err
 	}
+	if d.obsEnabled {
+		// MSIRP withdrawal steps land in the affected complex's journal.
+		d.Router.OnShedChange(func(complexName string, withdrawn, prev int) {
+			cx, ok := d.complexes[complexName]
+			if !ok || cx.Obs == nil {
+				return
+			}
+			kind, level := "withdraw", obs.LevelWarn
+			if withdrawn < prev {
+				kind, level = "restore", obs.LevelInfo
+			}
+			cx.Obs.Journal.Event(level, "routing", kind,
+				"load advisor changed the complex's advertised address set",
+				"complex", complexName,
+				"withdrawn", strconv.Itoa(withdrawn),
+				"prev", strconv.Itoa(prev))
+		})
+	}
 	return d, nil
 }
 
@@ -363,8 +403,8 @@ func (d *Deployment) newComplex(cs ComplexSpec, cfg Config, feed *db.DB, feedNam
 	if d.retry != nil {
 		groupOpts = append(groupOpts, cache.WithRetryPolicy(*d.retry))
 	}
-	// Tracer and auditor exist before the cluster so node options can
-	// close over them.
+	// Tracer, observability suite, and auditor exist before the cluster so
+	// node options can close over them.
 	var tracer *trace.Tracer
 	if d.tracing {
 		var topts []trace.Option
@@ -373,10 +413,34 @@ func (d *Deployment) newComplex(cs ComplexSpec, cfg Config, feed *db.DB, feedNam
 		}
 		tracer = trace.New(topts...)
 	}
+	var suite *obs.Suite
+	if d.obsEnabled {
+		sopts := []obs.Option{obs.WithName(cs.Name), obs.WithTracer(tracer)}
+		suite = obs.NewSuite(append(sopts, d.obsOpts...)...)
+		journal := suite.Journal
+		// Freshness-SLO violations become journal events (and a flight-
+		// recorder trigger). Attrs carry identity only — never durations,
+		// and never the trace ID, which comes from a process-wide counter
+		// and would break dump byte-reproducibility; the LSN correlates.
+		if tracer != nil {
+			tracer.SetOnViolation(func(tr trace.Trace) {
+				journal.Event(obs.LevelWarn, "trace", "slo_violation",
+					"propagation exceeded the freshness SLO",
+					"lsn", strconv.FormatInt(tr.LSN, 10))
+			})
+		}
+		// Push downgrades: a broadcast that exhausted its retries against a
+		// node and fell back to invalidation.
+		groupOpts = append(groupOpts, cache.WithDowngradeHook(func(node string, key cache.Key) {
+			journal.Event(obs.LevelWarn, "cache", "push_downgrade",
+				"cache push exhausted retries; downgraded to invalidation",
+				"node", node, "page", string(key))
+		}))
+	}
 	var auditor *audit.Auditor
 	if d.audit {
 		spec := cfg.Spec
-		auditor = audit.New(audit.Config{
+		acfg := audit.Config{
 			Name:    cs.Name,
 			Replica: replica,
 			Build: func(sdb *db.DB, reg fragment.Registrar) (*fragment.Engine, []string, error) {
@@ -390,7 +454,16 @@ func (d *Deployment) newComplex(cs ComplexSpec, cfg Config, feed *db.DB, feedNam
 			Tracer:      tracer,
 			StaleBudget: d.staleBudget,
 			SLO:         d.tracingSLO,
-		})
+		}
+		if suite != nil {
+			journal := suite.Journal
+			acfg.OnIncoherent = func(page string) {
+				journal.Event(obs.LevelError, "audit", "incoherent",
+					"served page diverges from shadow render at the same LSN",
+					"page", page)
+			}
+		}
+		auditor = audit.New(acfg)
 	}
 
 	clCfg := cluster.Config{
@@ -403,13 +476,41 @@ func (d *Deployment) newComplex(cs ComplexSpec, cfg Config, feed *db.DB, feedNam
 		GroupOptions:  groupOpts,
 	}
 	var nodeOptFns []func(string) []httpserver.Option
+	if suite != nil {
+		// The dispatcher mints a serve span per request; the nodes count
+		// their render-time database reads through a probe on the replica.
+		clCfg.DispatcherOptions = append(clCfg.DispatcherOptions,
+			dispatch.WithObserver(suite.Collector))
+		probe := obs.NewReadProbe()
+		replica.SetReadHook(probe.Hook)
+		nodeOptFns = append(nodeOptFns, func(string) []httpserver.Option {
+			return []httpserver.Option{httpserver.WithReadProbe(probe)}
+		})
+	}
 	if d.overload != nil {
 		ocfg, budget := *d.overload, d.staleBudget
 		if budget > 0 {
 			clCfg.CacheOptions = []cache.Option{cache.WithStaleRetention()}
 		}
-		nodeOptFns = append(nodeOptFns, func(string) []httpserver.Option {
-			return []httpserver.Option{httpserver.WithOverload(overload.NewLimiter(ocfg), budget)}
+		nodeOptFns = append(nodeOptFns, func(name string) []httpserver.Option {
+			// Each node gets its own limiter (a limiter is per-node state)
+			// and, under observability, its own shed-transition journal hook.
+			ncfg := ocfg
+			if suite != nil {
+				journal := suite.Journal
+				ncfg.OnShedChange = func(shedding bool) {
+					if shedding {
+						journal.Event(obs.LevelWarn, "overload", "shed_start",
+							"admission queue delay crossed the target; node is shedding",
+							"node", name)
+					} else {
+						journal.Event(obs.LevelInfo, "overload", "shed_stop",
+							"admission queue delay recovered; node stopped shedding",
+							"node", name)
+					}
+				}
+			}
+			return []httpserver.Option{httpserver.WithOverload(overload.NewLimiter(ncfg), budget)}
 		})
 	}
 	if auditor != nil {
@@ -440,6 +541,7 @@ func (d *Deployment) newComplex(cs ComplexSpec, cfg Config, feed *db.DB, feedNam
 		Cluster: cl,
 		Tracer:  tracer,
 		Auditor: auditor,
+		Obs:     suite,
 		spec:    cs,
 		feed:    feed,
 	}
@@ -505,9 +607,29 @@ func (d *Deployment) startMonitor(cx *Complex, gen int) error {
 	if cx.Tracer != nil {
 		opts = append(opts, trigger.WithTracer(cx.Tracer))
 	}
+	if cx.Obs != nil {
+		journal := cx.Obs.Journal
+		opts = append(opts, trigger.WithOnReplay(func(count int, upto int64) {
+			journal.Event(obs.LevelInfo, "trigger", "replay",
+				"restarted monitor replayed retained log from checkpoint",
+				"count", strconv.Itoa(count),
+				"upto_lsn", strconv.FormatInt(upto, 10))
+		}))
+	}
+	if cx.Obs != nil || d.inj != nil {
+		journal, inj := cx.Obs, d.inj
+		opts = append(opts, trigger.WithOnCrash(func(err error) {
+			if journal != nil {
+				journal.Journal.Event(obs.LevelError, "trigger", "crash", err.Error(),
+					"complex", cx.Name, "generation", strconv.Itoa(gen))
+			}
+			if inj != nil {
+				d.superviseRestart(cx)
+			}
+		}))
+	}
 	if d.inj != nil {
 		opts = append(opts, trigger.WithCrashHook(d.inj.CrashHook(cx.Name, gen)))
-		opts = append(opts, trigger.WithOnCrash(func(error) { d.superviseRestart(cx) }))
 	}
 	mon := trigger.New(trigger.Config{
 		Name:     cx.Name,
@@ -587,6 +709,9 @@ func (d *Deployment) RegisterMetrics(reg *stats.Registry) {
 			stats.Labels{"complex": name}, &cx.restarts)
 		if cx.Auditor != nil {
 			cx.Auditor.RegisterMetrics(reg, stats.Labels{"complex": name})
+		}
+		if cx.Obs != nil {
+			cx.Obs.RegisterMetrics(reg, stats.Labels{"complex": name})
 		}
 	}
 }

@@ -24,6 +24,7 @@ import (
 
 	"dupserve/internal/cache"
 	"dupserve/internal/httpserver"
+	"dupserve/internal/obs"
 	"dupserve/internal/stats"
 )
 
@@ -32,6 +33,14 @@ import (
 type Node interface {
 	Name() string
 	Serve(path string) (*cache.Object, httpserver.Outcome, error)
+}
+
+// ctxServer is the optional interface through which a node accepts the
+// request context carrying the serve span. httpserver.Server, cluster.Node
+// and Dispatcher itself implement it; nodes without it are served through
+// plain Serve and simply record no node-side stages.
+type ctxServer interface {
+	ServeCtx(ctx context.Context, path string) (*cache.Object, httpserver.Outcome, error)
 }
 
 // loadSignaler is the optional interface through which a node reports its
@@ -92,6 +101,7 @@ type Dispatcher struct {
 	probe         Probe
 	maxRetries    int
 	probeInterval time.Duration
+	observer      *obs.Collector // mints serve spans; nil without WithObserver
 
 	mu      sync.Mutex
 	members []*member
@@ -120,6 +130,14 @@ func WithProbe(p Probe) Option {
 // node failure (default: every remaining healthy node).
 func WithMaxRetries(n int) Option {
 	return func(d *Dispatcher) { d.maxRetries = n }
+}
+
+// WithObserver mints a serve span (into col) for every request entering
+// this dispatcher whose context does not already carry one. Nested
+// dispatchers leave the outer span intact, so a request through the routing
+// layer records exactly one span.
+func WithObserver(col *obs.Collector) Option {
+	return func(d *Dispatcher) { d.observer = col }
 }
 
 // Config describes a Dispatcher.
@@ -331,6 +349,36 @@ func (d *Dispatcher) releaseShed(m *member) {
 // over (and pulling failed nodes) until a node answers or the pool is
 // exhausted.
 func (d *Dispatcher) Serve(path string) (*cache.Object, httpserver.Outcome, error) {
+	return d.ServeCtx(context.Background(), path)
+}
+
+// ServeCtx is Serve with a request context. When an observer is installed
+// and ctx carries no span yet, the dispatcher mints one here — the serve
+// path's entry point — sets its path, outcome and observed LSN, and records
+// it when the request completes. An inherited span (nested dispatchers, the
+// routing layer) is stamped but not finished: it belongs to the outermost
+// dispatcher.
+func (d *Dispatcher) ServeCtx(ctx context.Context, path string) (*cache.Object, httpserver.Outcome, error) {
+	sp := obs.FromContext(ctx)
+	minted := false
+	if sp == nil && d.observer != nil {
+		ctx, sp = d.observer.StartSpan(ctx)
+		sp.SetPath(path)
+		minted = true
+	}
+	obj, outcome, err := d.serve(ctx, sp, path)
+	if minted {
+		sp.SetOutcome(outcome.String())
+		if obj != nil {
+			sp.SetLSN(obj.Version)
+		}
+		sp.Finish()
+	}
+	return obj, outcome, err
+}
+
+// serve is the failover loop behind Serve/ServeCtx.
+func (d *Dispatcher) serve(ctx context.Context, sp *obs.Span, path string) (*cache.Object, httpserver.Outcome, error) {
 	tried := make(map[*member]bool)
 	retries := 0
 	var lastShed error
@@ -348,7 +396,20 @@ func (d *Dispatcher) Serve(path string) (*cache.Object, httpserver.Outcome, erro
 			return nil, httpserver.OutcomeError, fmt.Errorf("%w (%s)", ErrNoBackends, d.name)
 		}
 		tried[m] = true
-		obj, outcome, err := m.node.Serve(path)
+		// Route selection done (possibly again after a failover — the stamp
+		// reflects the last node actually tried).
+		sp.Stamp(obs.SpanRoute)
+		sp.SetNode(m.node.Name())
+		var (
+			obj     *cache.Object
+			outcome httpserver.Outcome
+			err     error
+		)
+		if cs, ok := m.node.(ctxServer); ok {
+			obj, outcome, err = cs.ServeCtx(ctx, path)
+		} else {
+			obj, outcome, err = m.node.Serve(path)
+		}
 		if outcome == httpserver.OutcomeShed {
 			// Overloaded, not broken: fail over to a sibling but leave the
 			// node in the distribution list.

@@ -100,6 +100,8 @@ type Injector struct {
 
 	mu         sync.RWMutex
 	rates      [NumKinds]float64
+	budgets    [NumKinds]int64
+	hasBudget  [NumKinds]bool
 	partitions map[string]bool
 
 	injected [NumKinds]stats.Counter
@@ -141,14 +143,53 @@ func (i *Injector) Rate(k Kind) float64 {
 	return i.rates[k]
 }
 
-// ClearRates disarms every kind (partitions are separate; see
-// SetPartition).
+// ClearRates disarms every kind and removes any budgets (partitions are
+// separate; see SetPartition).
 func (i *Injector) ClearRates() {
 	i.mu.Lock()
 	for k := range i.rates {
 		i.rates[k] = 0
+		i.budgets[k] = 0
+		i.hasBudget[k] = false
 	}
 	i.mu.Unlock()
+}
+
+// SetBudget caps how many times kind k may fire through Should: after n
+// true verdicts the kind stops firing even while its rate stays armed.
+// Deterministic scenarios use rate 1 plus a budget of 1 to fault *exactly
+// one* identity regardless of evaluation order. A negative n removes the
+// budget. The budget gates Should only — Decide and Burst stay pure, so
+// retry loops that re-evaluate an identity (cache push bursts) are
+// unaffected.
+func (i *Injector) SetBudget(k Kind, n int64) {
+	if k >= NumKinds {
+		return
+	}
+	i.mu.Lock()
+	if n < 0 {
+		i.budgets[k] = 0
+		i.hasBudget[k] = false
+	} else {
+		i.budgets[k] = n
+		i.hasBudget[k] = true
+	}
+	i.mu.Unlock()
+}
+
+// consumeBudget reports whether kind k may fire, decrementing its budget if
+// one is set.
+func (i *Injector) consumeBudget(k Kind) bool {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if !i.hasBudget[k] {
+		return true
+	}
+	if i.budgets[k] <= 0 {
+		return false
+	}
+	i.budgets[k]--
+	return true
 }
 
 // Decide reports whether the fault of kind k fires for the given identity
@@ -164,10 +205,14 @@ func (i *Injector) Decide(k Kind, key string) bool {
 	return unit(i.seed, k, key) < rate
 }
 
-// Should is Decide plus accounting: a true verdict increments the kind's
+// Should is Decide plus accounting and budgeting: a true verdict consumes
+// one unit of the kind's budget (if set) and increments the kind's
 // injection counter.
 func (i *Injector) Should(k Kind, key string) bool {
 	if !i.Decide(k, key) {
+		return false
+	}
+	if !i.consumeBudget(k) {
 		return false
 	}
 	i.injected[k].Inc()

@@ -26,6 +26,7 @@ import (
 
 	"dupserve/internal/cache"
 	"dupserve/internal/core"
+	"dupserve/internal/obs"
 	"dupserve/internal/overload"
 	"dupserve/internal/stats"
 )
@@ -122,6 +123,10 @@ type Server struct {
 	// WithResponseTap.
 	tap ResponseTap
 
+	// probe attributes database reads to render spans; nil without
+	// WithReadProbe.
+	probe *obs.ReadProbe
+
 	requests    stats.Counter
 	hits        stats.Counter
 	misses      stats.Counter
@@ -187,6 +192,14 @@ func WithOverload(lim *overload.Limiter, staleBudget time.Duration) Option {
 		s.limiter = lim
 		s.staleBudget = staleBudget
 	}
+}
+
+// WithReadProbe attributes database reads to serve spans: the probe's
+// counter (installed on the serving replica via db.SetReadHook) is read
+// before and after each render and the delta lands on the request's span as
+// DBReads. Attribution is per-process — see obs.ReadProbe.
+func WithReadProbe(p *obs.ReadProbe) Option {
+	return func(s *Server) { s.probe = p }
 }
 
 // SpinOverhead returns an overhead hook that burns roughly n iterations of
@@ -293,6 +306,15 @@ func (s *Server) LoadSignal() float64 {
 // satisfied. This is the transport-independent core used by both ServeHTTP
 // and the simulator.
 func (s *Server) Serve(path string) (*cache.Object, Outcome, error) {
+	return s.ServeCtx(context.Background(), path)
+}
+
+// ServeCtx is Serve with a request context. When ctx carries a serve span
+// (minted by the dispatcher; see obs.FromContext) the node stamps its stage
+// boundaries — cache lookup, admission, render, stale fallback — and the
+// observed LSN onto it. All span methods are nil-safe, so untraced requests
+// pay only a context lookup.
+func (s *Server) ServeCtx(ctx context.Context, path string) (*cache.Object, Outcome, error) {
 	// Count in-flight before checking draining: Shutdown sets draining then
 	// waits for inflight to hit zero, so this ordering guarantees it never
 	// returns while a request that passed the check is still running.
@@ -303,6 +325,7 @@ func (s *Server) Serve(path string) (*cache.Object, Outcome, error) {
 		return nil, OutcomeError, fmt.Errorf("%w: %q", ErrDraining, s.name)
 	}
 	s.requests.Inc()
+	sp := obs.FromContext(ctx)
 
 	s.mu.RLock()
 	st, isStatic := s.static[path]
@@ -320,9 +343,12 @@ func (s *Server) Serve(path string) (*cache.Object, Outcome, error) {
 	}
 
 	if !s.noCache && s.cache != nil {
-		if obj, ok := s.cache.Get(cache.Key(path)); ok {
+		obj, ok := s.cache.Get(cache.Key(path))
+		sp.Stamp(obs.SpanLookup)
+		if ok {
 			s.hits.Inc()
 			s.bytesOut.Add(int64(len(obj.Value)))
+			sp.SetLSN(obj.Version)
 			if s.tap != nil {
 				s.tap(ResponseSample{Node: s.name, Path: path, Outcome: OutcomeHit, Object: obj})
 			}
@@ -340,11 +366,20 @@ func (s *Server) Serve(path string) (*cache.Object, Outcome, error) {
 	if s.limiter != nil {
 		release, err := s.limiter.Acquire()
 		if err != nil {
-			return s.degrade(path)
+			return s.degrade(sp, path)
 		}
 		defer release()
+		sp.Stamp(obs.SpanAdmit)
+	}
+	var readsBefore int64
+	if s.probe != nil {
+		readsBefore = s.probe.Count()
 	}
 	obj, err := s.gen(cache.Key(path), s.version())
+	if s.probe != nil {
+		sp.AddDBReads(s.probe.Count() - readsBefore)
+	}
+	sp.Stamp(obs.SpanRender)
 	if err != nil {
 		if errors.Is(err, ErrNoRoute) || isUnknownPage(err) {
 			s.notFound.Inc()
@@ -358,6 +393,7 @@ func (s *Server) Serve(path string) (*cache.Object, Outcome, error) {
 	}
 	s.misses.Inc()
 	s.bytesOut.Add(int64(len(obj.Value)))
+	sp.SetLSN(obj.Version)
 	if s.tap != nil {
 		s.tap(ResponseSample{Node: s.name, Path: path, Outcome: OutcomeMiss, Object: obj})
 	}
@@ -369,13 +405,15 @@ func (s *Server) Serve(path string) (*cache.Object, Outcome, error) {
 // 503), otherwise refuse the request. GetStale enforces the budget itself,
 // so a response can never be staler than staleBudget; staleAgeMax records
 // the worst age actually served so the claim is measured, not assumed.
-func (s *Server) degrade(path string) (*cache.Object, Outcome, error) {
+func (s *Server) degrade(sp *obs.Span, path string) (*cache.Object, Outcome, error) {
 	if s.cache != nil && s.staleBudget > 0 {
 		if obj, age, ok := s.cache.GetStale(cache.Key(path), s.staleBudget); ok {
 			s.servedStale.Inc()
 			s.staleAgeMax.Set(age.Microseconds()) // Max() keeps the worst ever served
 			s.staleAge.Observe(age.Seconds())     // per-response distribution
 			s.bytesOut.Add(int64(len(obj.Value)))
+			sp.Stamp(obs.SpanStale)
+			sp.SetLSN(obj.Version)
 			if s.tap != nil {
 				s.tap(ResponseSample{Node: s.name, Path: path, Outcome: OutcomeStale, Object: obj, StaleAge: age})
 			}

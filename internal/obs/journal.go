@@ -1,0 +1,216 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"log/slog"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dupserve/internal/stats"
+)
+
+// Level classifies a journal event's severity.
+type Level int8
+
+// The journal levels, ordered by severity.
+const (
+	LevelInfo Level = iota
+	LevelWarn
+	LevelError
+)
+
+var levelNames = [...]string{"info", "warn", "error"}
+
+// String returns the lowercase level name.
+func (l Level) String() string {
+	if l < 0 || int(l) >= len(levelNames) {
+		return "unknown"
+	}
+	return levelNames[l]
+}
+
+// MarshalJSON renders the level as its name.
+func (l Level) MarshalJSON() ([]byte, error) { return json.Marshal(l.String()) }
+
+// Event is one structured journal entry. Scope identifies the subsystem
+// ("trigger", "cache", "overload", "routing", "audit", "trace"), Kind the
+// event type within it ("crash", "push_downgrade", "shed_start", ...).
+// Attrs carry identity only (node, page, lsn) — never durations or other
+// timing-dependent values — so events survive canonical (time-free)
+// projection in flight-recorder dumps.
+type Event struct {
+	Seq   int64             `json:"seq"`
+	Time  time.Time         `json:"time"`
+	Level Level             `json:"level"`
+	Scope string            `json:"scope"`
+	Kind  string            `json:"kind"`
+	Msg   string            `json:"msg"`
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// Journal is a small leveled, bounded event log. Appends are mutex-ring
+// inserts; subscribers are notified after the journal's lock is released so
+// a subscriber (the flight recorder) may read the journal back. The journal
+// is off the serve hot path — events mark state *transitions* (crash, shed
+// flip, downgrade), which are rare by construction.
+type Journal struct {
+	now   func() time.Time
+	armed atomic.Bool
+
+	mu     sync.Mutex
+	ring   []Event
+	next   int
+	filled bool
+	seq    int64
+	subs   []func(Event)
+
+	appended stats.Counter
+}
+
+func newJournal(cfg config) *Journal {
+	j := &Journal{now: cfg.clock, ring: make([]Event, cfg.journalRing)}
+	j.armed.Store(true)
+	return j
+}
+
+// SetArmed enables (true) or suppresses (false) appends. Disarmed appends
+// are dropped entirely — no ring insert, no subscriber delivery.
+func (j *Journal) SetArmed(armed bool) { j.armed.Store(armed) }
+
+// Armed reports whether the journal is accepting events.
+func (j *Journal) Armed() bool { return j.armed.Load() }
+
+// Event appends one event. kv lists attribute key/value pairs
+// ("node", "tokyo-sp2-0-up1", "lsn", "42"); a trailing odd key is ignored.
+func (j *Journal) Event(level Level, scope, kind, msg string, kv ...string) {
+	if !j.armed.Load() {
+		return
+	}
+	var attrs map[string]string
+	if len(kv) >= 2 {
+		attrs = make(map[string]string, len(kv)/2)
+		for i := 0; i+1 < len(kv); i += 2 {
+			attrs[kv[i]] = kv[i+1]
+		}
+	}
+	j.append(Event{Level: level, Scope: scope, Kind: kind, Msg: msg, Attrs: attrs})
+}
+
+// append stamps sequence and time, inserts into the ring, and delivers the
+// event to subscribers after unlocking.
+func (j *Journal) append(e Event) {
+	j.mu.Lock()
+	j.seq++
+	e.Seq = j.seq
+	e.Time = j.now()
+	j.ring[j.next] = e
+	j.next++
+	if j.next == len(j.ring) {
+		j.next = 0
+		j.filled = true
+	}
+	subs := j.subs
+	j.mu.Unlock()
+	j.appended.Inc()
+	for _, fn := range subs {
+		fn(e)
+	}
+}
+
+// Subscribe registers fn to receive every appended event. Subscriptions are
+// expected at wiring time and cannot be removed.
+func (j *Journal) Subscribe(fn func(Event)) {
+	j.mu.Lock()
+	// Copy-on-write so append can hand the slice out without holding the lock.
+	subs := make([]func(Event), len(j.subs), len(j.subs)+1)
+	copy(subs, j.subs)
+	j.subs = append(subs, fn)
+	j.mu.Unlock()
+}
+
+// Recent returns up to n events, newest first.
+func (j *Journal) Recent(n int) []Event {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	size := j.next
+	if j.filled {
+		size = len(j.ring)
+	}
+	if n <= 0 || n > size {
+		n = size
+	}
+	out := make([]Event, 0, n)
+	for i := 0; i < n; i++ {
+		idx := (j.next - 1 - i + len(j.ring)) % len(j.ring)
+		out = append(out, j.ring[idx])
+	}
+	return out
+}
+
+// Appended returns how many events have been appended since creation.
+func (j *Journal) Appended() int64 { return j.appended.Value() }
+
+// Logger returns a *slog.Logger whose records land in the journal under the
+// given scope. The record message becomes Msg, a "kind" attribute (if
+// present) becomes Kind, and remaining attributes are stringified into
+// Attrs. This is the bridge for code that prefers the standard structured
+// logging API over Journal.Event.
+func (j *Journal) Logger(scope string) *slog.Logger {
+	return slog.New(&journalHandler{j: j, scope: scope})
+}
+
+// journalHandler adapts slog records into journal events.
+type journalHandler struct {
+	j     *Journal
+	scope string
+	attrs []slog.Attr
+}
+
+func (h *journalHandler) Enabled(_ context.Context, level slog.Level) bool {
+	return h.j.armed.Load() && level >= slog.LevelInfo
+}
+
+func (h *journalHandler) Handle(_ context.Context, r slog.Record) error {
+	e := Event{Scope: h.scope, Kind: "log", Msg: r.Message}
+	switch {
+	case r.Level >= slog.LevelError:
+		e.Level = LevelError
+	case r.Level >= slog.LevelWarn:
+		e.Level = LevelWarn
+	default:
+		e.Level = LevelInfo
+	}
+	add := func(a slog.Attr) {
+		if a.Key == "kind" {
+			e.Kind = a.Value.String()
+			return
+		}
+		if e.Attrs == nil {
+			e.Attrs = make(map[string]string)
+		}
+		e.Attrs[a.Key] = a.Value.String()
+	}
+	for _, a := range h.attrs {
+		add(a)
+	}
+	r.Attrs(func(a slog.Attr) bool {
+		add(a)
+		return true
+	})
+	h.j.append(e)
+	return nil
+}
+
+func (h *journalHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	merged := make([]slog.Attr, 0, len(h.attrs)+len(attrs))
+	merged = append(merged, h.attrs...)
+	merged = append(merged, attrs...)
+	return &journalHandler{j: h.j, scope: h.scope, attrs: merged}
+}
+
+func (h *journalHandler) WithGroup(name string) slog.Handler {
+	// Groups collapse into the scope path; attribute keys stay flat.
+	return &journalHandler{j: h.j, scope: h.scope + "." + name, attrs: h.attrs}
+}

@@ -1,0 +1,27 @@
+package obs
+
+import "sync/atomic"
+
+// ReadProbe counts database reads via db.SetReadHook. The serving replica
+// gets one probe installed at wiring time; the renderer reads the counter
+// before and after a page generation and attributes the delta to the
+// request's span. The hook is a bare atomic increment so it is safe to
+// leave installed permanently — it costs one atomic add per DB read.
+//
+// Attribution is per-process, not per-goroutine: concurrent renders on the
+// same replica can bleed reads into each other's deltas. That is acceptable
+// for the probe's purpose (orders-of-magnitude provenance — a hit does 0
+// reads, a render does tens), and exact per-request isolation would require
+// threading context into the database layer.
+type ReadProbe struct {
+	n atomic.Int64
+}
+
+// NewReadProbe returns a probe ready to install with db.SetReadHook.
+func NewReadProbe() *ReadProbe { return &ReadProbe{} }
+
+// Hook is the db.ReadHook to install: it counts one read per invocation.
+func (p *ReadProbe) Hook(string) { p.n.Add(1) }
+
+// Count returns the total reads observed so far.
+func (p *ReadProbe) Count() int64 { return p.n.Load() }

@@ -60,6 +60,11 @@ type Config struct {
 	Interval time.Duration
 	// Clock substitutes the time source (tests).
 	Clock func() time.Time
+	// OnShedChange, if set, is called once per CoDel shedding transition
+	// (true when the limiter starts refusing admissions, false when it
+	// reconverges). It runs outside the limiter's lock, on the goroutine
+	// that caused the transition, and must not block.
+	OnShedChange func(shedding bool)
 }
 
 func (c Config) withDefaults() Config {
@@ -126,9 +131,13 @@ func (l *Limiter) Acquire() (release func(), err error) {
 	l.mu.Lock()
 	if l.inflight < l.cfg.MaxConcurrent && l.waiting == 0 {
 		l.inflight++
+		prev := l.shedding
 		l.observeDelayLocked(0)
+		changed := l.shedding != prev
+		cur := l.shedding
 		l.mu.Unlock()
 		l.admitted.Inc()
+		l.notifyShed(changed, cur)
 		return l.release, nil
 	}
 	if l.shedding || l.waiting >= l.cfg.MaxQueue {
@@ -147,10 +156,21 @@ func (l *Limiter) Acquire() (release func(), err error) {
 	}
 	l.waiting--
 	l.inflight++
+	prev := l.shedding
 	l.observeDelayLocked(l.cfg.Clock().Sub(start))
+	changed := l.shedding != prev
+	cur := l.shedding
 	l.mu.Unlock()
 	l.queued.Inc()
+	l.notifyShed(changed, cur)
 	return l.release, nil
+}
+
+// notifyShed fires the shed-transition callback when changed is true.
+func (l *Limiter) notifyShed(changed, shedding bool) {
+	if changed && l.cfg.OnShedChange != nil {
+		l.cfg.OnShedChange(shedding)
+	}
 }
 
 // TryAcquire is Acquire without the willingness to wait: it admits only
@@ -173,6 +193,7 @@ func (l *Limiter) TryAcquire() (release func(), err error) {
 func (l *Limiter) release() {
 	l.mu.Lock()
 	l.inflight--
+	prev := l.shedding
 	if l.inflight == 0 && l.waiting == 0 {
 		// Fully drained: whatever standing queue CoDel saw is gone, so the
 		// shedding state must not outlive it. This is what makes a node
@@ -180,8 +201,11 @@ func (l *Limiter) release() {
 		l.shedding = false
 		l.aboveSince = time.Time{}
 	}
+	changed := l.shedding != prev
+	cur := l.shedding
 	l.mu.Unlock()
 	l.cond.Signal()
+	l.notifyShed(changed, cur)
 }
 
 // observeDelayLocked feeds one admission's queue delay into the CoDel state

@@ -100,6 +100,8 @@ type Router struct {
 	rejected     stats.Counter
 	byComplex    sync.Map // string -> *stats.Counter
 	byRegion     sync.Map // Region -> *stats.Counter
+
+	onShed func(complexName string, withdrawn, prev int) // fired outside mu
 }
 
 // NewRouter returns a router with the given number of SIPR addresses
@@ -117,6 +119,17 @@ func NewRouter(numAddrs int) *Router {
 
 // NumAddrs returns the number of SIPR addresses.
 func (r *Router) NumAddrs() int { return r.numAddrs }
+
+// OnShedChange installs a callback fired whenever SetComplexLoad changes
+// how many addresses a complex has withdrawn (withdrawn is the new count,
+// prev the old). It runs on the advising goroutine after the router's lock
+// is released; it must not block. Intended for wiring time (the
+// observability journal).
+func (r *Router) OnShedChange(fn func(complexName string, withdrawn, prev int)) {
+	r.mu.Lock()
+	r.onShed = fn
+	r.mu.Unlock()
+}
 
 // AddComplex registers a serving complex (typically a dispatch.Dispatcher)
 // with its backbone distance from each client region. Regions absent from
@@ -213,11 +226,12 @@ func (r *Router) SetComplexUp(complexName string, up bool) {
 // other advertisers are gone (see Route's no-black-hole rule).
 func (r *Router) SetComplexLoad(complexName string, load float64) error {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	c, ok := r.complexes[complexName]
 	if !ok {
+		r.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrUnknownComplex, complexName)
 	}
+	prev := len(c.shed)
 	c.load = load
 	steps := 0
 	if load >= loadShedStart {
@@ -230,6 +244,11 @@ func (r *Router) SetComplexLoad(complexName string, load float64) error {
 	c.shed = make(map[Address]bool, steps)
 	for _, a := range order[:steps] {
 		c.shed[a] = true
+	}
+	fn := r.onShed
+	r.mu.Unlock()
+	if fn != nil && steps != prev {
+		fn(complexName, steps, prev)
 	}
 	return nil
 }

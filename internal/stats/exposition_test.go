@@ -1,0 +1,96 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestExpositionEscapesLabelValues checks label values against the
+// Prometheus text-format escaping rules: backslash, double quote, and
+// newline are escaped; everything else (tabs, non-ASCII) passes through
+// verbatim. Go's %q semantics would over-escape the latter two.
+func TestExpositionEscapesLabelValues(t *testing.T) {
+	cases := []struct {
+		name  string
+		value string
+		want  string // rendered label pair in the exposition
+	}{
+		{"quote", `say "hi"`, `v="say \"hi\""`},
+		{"backslash", `c:\tmp\x`, `v="c:\\tmp\\x"`},
+		{"newline", "line1\nline2", `v="line1\nline2"`},
+		{"mixed", "a\\\"\nb", `v="a\\\"\nb"`},
+		{"tab_verbatim", "a\tb", "v=\"a\tb\""},
+		{"unicode_verbatim", "東京", `v="東京"`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			reg := NewRegistry()
+			var c Counter
+			c.Inc()
+			reg.RegisterCounter("m_total", "", Labels{"v": tc.value}, &c)
+			var b strings.Builder
+			if err := reg.WriteText(&b); err != nil {
+				t.Fatal(err)
+			}
+			got := b.String()
+			wantLine := "m_total{" + tc.want + "} 1\n"
+			if !strings.Contains(got, wantLine) {
+				t.Errorf("value %q: exposition\n%s\nwant line %q", tc.value, got, wantLine)
+			}
+		})
+	}
+}
+
+// TestExpositionEscapedValuesStayDistinct ensures escaping does not fold
+// two different raw values onto one series key: a value containing a
+// literal backslash-n must not collide with one containing a newline.
+func TestExpositionEscapedValuesStayDistinct(t *testing.T) {
+	reg := NewRegistry()
+	var a, b Counter
+	reg.RegisterCounter("m_total", "", Labels{"v": "x\ny"}, &a)
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("distinct values collided: %v", r)
+		}
+	}()
+	reg.RegisterCounter("m_total", "", Labels{"v": `x\ny`}, &b)
+}
+
+// TestExpositionDeterministicOrder registers families and series in a
+// scrambled order and checks the exposition is sorted — families by name,
+// series within a family by canonical label key — and identical across
+// writes, so scrapes diff cleanly.
+func TestExpositionDeterministicOrder(t *testing.T) {
+	reg := NewRegistry()
+	var c1, c2, c3, c4 Counter
+	reg.RegisterCounter("zeta_total", "last family", nil, &c1)
+	reg.RegisterCounter("alpha_total", "first family", Labels{"node": "up2"}, &c2)
+	reg.RegisterCounter("alpha_total", "", Labels{"node": "up0"}, &c3)
+	reg.RegisterCounter("mid_total", "middle family", nil, &c4)
+
+	var w1 strings.Builder
+	if err := reg.WriteText(&w1); err != nil {
+		t.Fatal(err)
+	}
+	first := w1.String()
+
+	za := strings.Index(first, "zeta_total")
+	al := strings.Index(first, "alpha_total")
+	mi := strings.Index(first, "mid_total")
+	if !(al < mi && mi < za) {
+		t.Errorf("families not sorted by name:\n%s", first)
+	}
+	up0 := strings.Index(first, `alpha_total{node="up0"}`)
+	up2 := strings.Index(first, `alpha_total{node="up2"}`)
+	if up0 < 0 || up2 < 0 || up0 > up2 {
+		t.Errorf("series not sorted by label key:\n%s", first)
+	}
+
+	var w2 strings.Builder
+	if err := reg.WriteText(&w2); err != nil {
+		t.Fatal(err)
+	}
+	if first != w2.String() {
+		t.Error("two writes of the same registry differ")
+	}
+}

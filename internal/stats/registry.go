@@ -71,6 +71,12 @@ func NewRegistry() *Registry {
 	return &Registry{families: make(map[string]*Family)}
 }
 
+// labelEscaper escapes a label value for the Prometheus text exposition
+// format, which defines exactly three escapes: backslash, double quote,
+// and newline. Go's %q would additionally escape tabs and non-ASCII runes,
+// which scrapers do not unescape.
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
 // labelKey renders labels canonically (sorted by key) for identity and
 // exposition: `{a="1",b="2"}`, or "" for an empty set.
 func labelKey(labels Labels) string {
@@ -88,7 +94,10 @@ func labelKey(labels Labels) string {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(labelEscaper.Replace(labels[k]))
+		b.WriteByte('"')
 	}
 	b.WriteByte('}')
 	return b.String()

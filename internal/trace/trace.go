@@ -166,6 +166,8 @@ type Tracer struct {
 	recorded   stats.Counter
 	violations stats.Counter
 	lastMicro  stats.Gauge // most recent commit->push latency, µs; Max() is worst ever
+
+	onViolation func(Trace) // fired (outside mu) for each SLO-violating trace
 }
 
 // Option configures a Tracer.
@@ -213,6 +215,17 @@ func New(opts ...Option) *Tracer {
 // SLO returns the configured freshness objective.
 func (t *Tracer) SLO() time.Duration { return t.slo }
 
+// SetOnViolation installs a callback fired once per trace whose
+// commit-to-push latency exceeds the SLO. The callback runs on the
+// recording goroutine after the tracer's lock is released; it must not
+// block. Intended for wiring time (the observability journal), before
+// propagation starts.
+func (t *Tracer) SetOnViolation(fn func(Trace)) {
+	t.mu.Lock()
+	t.onViolation = fn
+	t.mu.Unlock()
+}
+
 // Arrive registers an in-flight transaction: committed, seen on the CDC
 // feed, not yet propagated. Until Record retires the ID, the transaction
 // contributes to WorstInFlight.
@@ -234,7 +247,8 @@ func (t *Tracer) Record(tr Trace) {
 	t.totalHist.Observe(total.Seconds())
 	t.recorded.Inc()
 	t.lastMicro.Set(total.Microseconds())
-	if t.slo > 0 && total > t.slo {
+	violated := t.slo > 0 && total > t.slo
+	if violated {
 		t.violations.Inc()
 	}
 	t.mu.Lock()
@@ -245,7 +259,11 @@ func (t *Tracer) Record(tr Trace) {
 		t.next = 0
 		t.filled = true
 	}
+	cb := t.onViolation
 	t.mu.Unlock()
+	if violated && cb != nil {
+		cb(tr)
+	}
 }
 
 // Recent returns up to n of the most recently recorded traces, newest

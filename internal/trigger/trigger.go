@@ -111,6 +111,7 @@ type Monitor struct {
 	tracer    *trace.Tracer
 	crashHook CrashHook
 	onCrash   func(err error)
+	onReplay  func(count int, upto int64)
 
 	batches     stats.Counter
 	txs         stats.Counter
@@ -194,6 +195,14 @@ func WithCrashHook(h CrashHook) Option {
 // Checkpoint().
 func WithOnCrash(f func(err error)) Option {
 	return func(m *Monitor) { m.onCrash = f }
+}
+
+// WithOnReplay installs a callback invoked (on the monitor's goroutine)
+// after checkpoint replay has propagated: count transactions were recovered
+// from the retained log, the highest carrying LSN upto. The observability
+// journal wires in here; the callback must not block.
+func WithOnReplay(f func(count int, upto int64)) Option {
+	return func(m *Monitor) { m.onReplay = f }
 }
 
 // New returns an unstarted Monitor over cfg. Call Start to begin
@@ -383,6 +392,9 @@ func (m *Monitor) loop(replay []db.Transaction) {
 		if !propagate() {
 			crashed = true
 			return
+		}
+		if m.onReplay != nil {
+			m.onReplay(len(replay), replayMax)
 		}
 	}
 
