@@ -6,11 +6,12 @@ GO ?= go
 # path (limiter, degradation serving) which is exercised by many goroutines
 # at once, plus the auditor whose Observe runs on every node's request path
 # concurrently with sweeps, plus the serve-span/journal/flight-recorder
-# layer whose collector is written from every request goroutine; check runs
-# them under the race detector.
-RACE_PKGS = ./internal/stats ./internal/trace ./internal/trigger ./internal/core ./internal/cache ./internal/db ./internal/fault ./internal/deploy ./internal/overload ./internal/httpserver ./internal/audit ./internal/obs
+# layer whose collector is written from every request goroutine, plus the
+# fragment assembler whose single-flight table and version floors are hit by
+# parallel page-assembly workers; check runs them under the race detector.
+RACE_PKGS = ./internal/stats ./internal/trace ./internal/trigger ./internal/core ./internal/cache ./internal/db ./internal/fault ./internal/deploy ./internal/overload ./internal/httpserver ./internal/audit ./internal/obs ./internal/fragment
 
-.PHONY: all build test race check chaos audit flight bench bench-overload run
+.PHONY: all build test race check chaos audit flight bench bench-overload bench-propagation run
 
 all: check
 
@@ -47,6 +48,14 @@ flight:
 # hit/stale/shed rates at 1x, 3x, and 5x of estimated render capacity.
 bench-overload:
 	$(GO) run ./cmd/simulate -overload-bench BENCH_overload.json -seed 1
+
+# bench-propagation records the incremental-propagation comparison: a seeded
+# Olympic update-burst sequence through the trigger -> engine -> cache path
+# with memoized fragment assembly versus the full-re-render baseline,
+# including the render-vs-reuse accounting (renders_total must equal the
+# planner's changed-fragment count; the run fails otherwise).
+bench-propagation:
+	$(GO) run ./cmd/simulate -propagation-bench BENCH_propagation.json -seed 1
 
 # check is the tier-1 gate: everything builds, vets clean, every test
 # passes, the propagation pipeline is race-clean, the chaos tournament

@@ -7,6 +7,7 @@
 package dupserve
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -46,12 +47,13 @@ func buildStack(b *testing.B, policy core.Policy) (*site.Site, *core.Engine, *ca
 	default:
 		opts = []core.Option{core.WithGenerator(gen)}
 	}
-	engine := core.NewEngine(graph, core.SingleCache{C: c}, opts...)
+	engine := core.NewEngine(graph, c, opts...)
 	var err error
 	st, err = site.Build(site.DefaultSpec(), master, engine)
 	if err != nil {
 		b.Fatal(err)
 	}
+	engine.SetAssembler(st.Engine)
 	if err := st.PrerenderAll(master.LSN(), func(o *cache.Object) { c.Put(o) }); err != nil {
 		b.Fatal(err)
 	}
@@ -317,7 +319,7 @@ func BenchmarkE16_TriggerPipeline(b *testing.B) {
 	gen := func(key cache.Key, version int64) (*cache.Object, error) {
 		return st.Engine.Generate(key, version)
 	}
-	engine := core.NewEngine(graph, core.SingleCache{C: c}, core.WithGenerator(gen))
+	engine := core.NewEngine(graph, c, core.WithGenerator(gen))
 	var err error
 	st, err = site.Build(site.DefaultSpec(), master, engine)
 	if err != nil {
@@ -326,8 +328,12 @@ func BenchmarkE16_TriggerPipeline(b *testing.B) {
 	if err := st.PrerenderAll(master.LSN(), func(o *cache.Object) { c.Put(o) }); err != nil {
 		b.Fatal(err)
 	}
-	mon := trigger.Start(master, engine, trigger.WithIndexer(st.Indexer), trigger.WithBatchWindow(0))
-	defer mon.Stop()
+	mon := trigger.New(trigger.Config{DB: master, Engine: engine},
+		trigger.WithIndexer(st.Indexer), trigger.WithBatchWindow(0))
+	if err := mon.Start(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	defer mon.Shutdown(context.Background())
 	ev := st.Events[1]
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -336,6 +342,65 @@ func BenchmarkE16_TriggerPipeline(b *testing.B) {
 		}
 		mon.Flush()
 	}
+}
+
+// --- E15: incremental propagation — memoized assembly vs full re-render
+
+// BenchmarkE15_IncrementalPropagation drives Olympic update bursts through
+// the full trigger -> engine -> cache path twice: once with the memoized
+// assembler (each changed fragment renders once per batch, containing pages
+// splice cached bytes) and once in the full-re-render baseline where every
+// Include recursively regenerates its fragment. renders/op and reuses/op
+// expose the render-vs-reuse accounting alongside the wall-clock delta.
+func BenchmarkE15_IncrementalPropagation(b *testing.B) {
+	run := func(b *testing.B, fullReRender bool) {
+		master := db.New("bench")
+		graph := odg.New()
+		c := cache.New("bench")
+		var st *site.Site
+		gen := func(key cache.Key, version int64) (*cache.Object, error) {
+			return st.Engine.Generate(key, version)
+		}
+		engine := core.NewEngine(graph, c, core.WithGenerator(gen), core.WithParallelism(4))
+		var err error
+		st, err = site.Build(site.DefaultSpec(), master, engine)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if fullReRender {
+			st.Engine.SetFullReRender(true)
+		} else {
+			engine.SetAssembler(st.Engine)
+		}
+		if err := st.PrerenderAll(master.LSN(), func(o *cache.Object) { c.Put(o) }); err != nil {
+			b.Fatal(err)
+		}
+		mon := trigger.New(trigger.Config{DB: master, Engine: engine},
+			trigger.WithIndexer(st.Indexer), trigger.WithBatchWindow(0))
+		if err := mon.Start(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+		defer mon.Shutdown(context.Background())
+		r0, u0 := st.Engine.Accounting()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// A final result changes the medal-standings fragment, which is
+			// embedded across home/medals pages — the paper's canonical
+			// one-update-many-pages burst.
+			ev := st.Events[i%len(st.Events)]
+			if _, err := st.RecordResult(ev, ev.Participants[0], ev.Participants[1],
+				ev.Participants[2], fmt.Sprint(i)); err != nil {
+				b.Fatal(err)
+			}
+			mon.Flush()
+		}
+		b.StopTimer()
+		r1, u1 := st.Engine.Accounting()
+		b.ReportMetric(float64(r1-r0)/float64(b.N), "renders/op")
+		b.ReportMetric(float64(u1-u0)/float64(b.N), "reuses/op")
+	}
+	b.Run("assembled", func(b *testing.B) { run(b, false) })
+	b.Run("full-rerender", func(b *testing.B) { run(b, true) })
 }
 
 // --- Ablations -----------------------------------------------------------
@@ -389,7 +454,7 @@ func BenchmarkAblation_UpdateVsInvalidate(b *testing.B) {
 	b.Run("UpdateInPlace", func(b *testing.B) {
 		c := cache.New("c")
 		g := odg.New()
-		e := core.NewEngine(g, core.SingleCache{C: c}, core.WithGenerator(gen))
+		e := core.NewEngine(g, c, core.WithGenerator(gen))
 		e.RegisterObject("/hot", []odg.NodeID{"db:row"})
 		srv := httpserver.New("n", c, gen, nil)
 		b.ResetTimer()
@@ -403,7 +468,7 @@ func BenchmarkAblation_UpdateVsInvalidate(b *testing.B) {
 	b.Run("InvalidateThenMiss", func(b *testing.B) {
 		c := cache.New("c")
 		g := odg.New()
-		e := core.NewEngine(g, core.SingleCache{C: c}, core.WithPolicy(core.PolicyInvalidate))
+		e := core.NewEngine(g, c, core.WithPolicy(core.PolicyInvalidate))
 		e.RegisterObject("/hot", []odg.NodeID{"db:row"})
 		srv := httpserver.New("n", c, gen, nil)
 		b.ResetTimer()
@@ -490,7 +555,7 @@ func BenchmarkAblation_WeightThreshold(b *testing.B) {
 		if threshold > 0 {
 			opts = append(opts, core.WithStalenessThreshold(threshold))
 		}
-		e := core.NewEngine(g, core.SingleCache{C: c}, opts...)
+		e := core.NewEngine(g, c, opts...)
 		for i := 0; i < 50; i++ {
 			key := cache.Key(fmt.Sprintf("/p%d", i))
 			g.AddNode(odg.NodeID(key), odg.KindObject)
@@ -544,7 +609,7 @@ func BenchmarkAblation_ParallelRendering(b *testing.B) {
 		if workers > 1 {
 			opts = append(opts, core.WithParallelism(workers))
 		}
-		e := core.NewEngine(g, core.SingleCache{C: c}, opts...)
+		e := core.NewEngine(g, c, opts...)
 		e.RegisterFragment("frag:m", []odg.NodeID{"db:row"})
 		for i := 0; i < 128; i++ {
 			e.RegisterObject(cache.Key(fmt.Sprintf("/p%d", i)), []odg.NodeID{"frag:m"})
@@ -581,7 +646,7 @@ func BenchmarkAblation_HybridHotCold(b *testing.B) {
 		gen := func(key cache.Key, version int64) (*cache.Object, error) {
 			return &cache.Object{Key: key, Value: make([]byte, 4096), Version: version}, nil
 		}
-		e := core.NewEngine(g, core.SingleCache{C: c}, append([]core.Option{core.WithGenerator(gen)}, opts...)...)
+		e := core.NewEngine(g, c, append([]core.Option{core.WithGenerator(gen)}, opts...)...)
 		for i := 0; i < 100; i++ {
 			key := cache.Key(fmt.Sprintf("/p%d", i))
 			e.RegisterObject(key, []odg.NodeID{"db:row"})

@@ -49,7 +49,7 @@ func runConfig(name string, objects, fanout, updates, pageBytes int, general boo
 	} else {
 		opts = append(opts, core.WithPolicy(policy))
 	}
-	e := core.NewEngine(g, core.SingleCache{C: c}, opts...)
+	e := core.NewEngine(g, c, opts...)
 
 	sources := objects / fanout
 	if sources == 0 {

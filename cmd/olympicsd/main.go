@@ -115,7 +115,7 @@ func main() {
 	gen := func(key cache.Key, version int64) (*cache.Object, error) {
 		return st.Engine.Generate(key, version)
 	}
-	engine := core.NewEngine(graph, core.GroupStore{G: group}, core.WithGenerator(gen))
+	engine := core.NewEngine(graph, group, core.WithGenerator(gen))
 
 	spec := site.DefaultSpec()
 	spec.Days = 16
@@ -128,6 +128,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// Incremental propagation: batches render each changed fragment once
+	// and rebuild containing pages by splicing cached fragment bytes.
+	engine.SetAssembler(st.Engine)
 
 	// Consistency auditor: taps every served response and, on demand
 	// (/debug/audit), shadow-renders the site against a snapshot of the
@@ -348,9 +351,21 @@ func main() {
 		})
 	}))
 	mux.HandleFunc("/debug/serve", guard(func(w http.ResponseWriter, r *http.Request) {
+		renders, reuses := st.Engine.Accounting()
+		es := engine.Stats()
 		writeJSON(w, http.StatusOK, map[string]any{
 			"summary": suite.Collector.Snapshot(),
 			"spans":   suite.Collector.Recent(queryN(r, 50)),
+			// Assembly accounting correlates serve-path spans with the
+			// propagation batches that refreshed what was served: renders
+			// are fragments rebuilt by DUP batches, reuses are cached
+			// fragment bytes spliced into containing pages.
+			"assembly": map[string]any{
+				"fragment_renders":       renders,
+				"fragment_reuses":        reuses,
+				"batch_fragment_renders": es.FragmentRenders,
+				"batch_fragment_reuses":  es.FragmentReuses,
+			},
 		})
 	}))
 	mux.HandleFunc("/debug/journal", guard(func(w http.ResponseWriter, r *http.Request) {

@@ -96,7 +96,38 @@ func main() {
 	auditMode := flag.Bool("audit", false, "run only the standalone consistency audit: commit results under load, converge, and shadow-render every page of every complex")
 	flightMode := flag.Bool("flight", false, "run the flight-recorder scenario: provoke each anomaly trigger once and report the captured black-box dumps")
 	overloadBench := flag.String("overload-bench", "", "write the 1x/3x/5x overload benchmark as JSON to this file")
+	propBench := flag.String("propagation-bench", "", "write the incremental-propagation benchmark (memoized assembly vs full re-render) as JSON to this file")
+	propBursts := flag.Int("propagation-bursts", 400, "update bursts for -propagation-bench")
 	flag.Parse()
+
+	if *propBench != "" {
+		rep, err := runPropagationBench(*seed, *propBursts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "propagation-bench:", err)
+			os.Exit(1)
+		}
+		f, err := os.Create(*propBench)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "propagation-bench:", err)
+			os.Exit(1)
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			fmt.Fprintln(os.Stderr, "propagation-bench:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "propagation-bench:", err)
+			os.Exit(1)
+		}
+		if rep.RendersTotal != rep.ChangedFragments {
+			fmt.Fprintf(os.Stderr, "propagation-bench: renders_total=%d != changed_fragments=%d\n",
+				rep.RendersTotal, rep.ChangedFragments)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "propagation benchmark written to %s (renders=%d reuses=%d speedup=%.2fx)\n",
+			*propBench, rep.RendersTotal, rep.ReusesTotal, rep.Speedup)
+		return
+	}
 
 	if *overloadBench != "" {
 		rep, err := chaos.BenchOverload(chaos.OverloadConfig{Seed: *seed})
@@ -606,7 +637,7 @@ func printSessions() {
 	gen := func(key cache.Key, version int64) (*cache.Object, error) {
 		return st.Engine.Generate(key, version)
 	}
-	engine := core.NewEngine(g, core.SingleCache{C: cache.New("c")}, core.WithGenerator(gen))
+	engine := core.NewEngine(g, cache.New("c"), core.WithGenerator(gen))
 	var err error
 	st, err = site.Build(site.DefaultSpec(), d, engine)
 	if err != nil {

@@ -45,7 +45,7 @@ const (
 // the same builder constructs both the live site and the auditor's shadow
 // site.
 func buildSite(database *db.DB, reg fragment.Registrar) (*fragment.Engine, []string, error) {
-	fe := fragment.NewEngine(database, reg)
+	fe := fragment.New(fragment.Config{DB: database, Registrar: reg})
 
 	// Correct: every read goes through the context, so the ODG sees it.
 	fe.Define(pageScoreboard, func(ctx *fragment.Context) ([]byte, error) {
@@ -101,7 +101,7 @@ func runDemo(out io.Writer) (*audit.Report, error) {
 	gen := func(key cache.Key, version int64) (*cache.Object, error) {
 		return fe.Generate(key, version)
 	}
-	engine := core.NewEngine(graph, core.SingleCache{C: pages}, core.WithGenerator(gen))
+	engine := core.NewEngine(graph, pages, core.WithGenerator(gen))
 	fe, pagePaths, err := buildSite(master, engine)
 	if err != nil {
 		return nil, err

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -36,8 +37,8 @@ func main() {
 	gen := func(key cache.Key, version int64) (*cache.Object, error) {
 		return fragments.Generate(key, version)
 	}
-	engine = core.NewEngine(graph, core.SingleCache{C: pages}, core.WithGenerator(gen))
-	fragments = fragment.NewEngine(database, engine)
+	engine = core.NewEngine(graph, pages, core.WithGenerator(gen))
+	fragments = fragment.New(fragment.Config{DB: database, Registrar: engine})
 
 	// Fragments: headlines (scans the stories table) and a ticker (reads
 	// one row).
@@ -100,10 +101,13 @@ func main() {
 		}
 		return ids
 	}
-	mon := trigger.Start(database, engine,
+	mon := trigger.New(trigger.Config{DB: database, Engine: engine},
 		trigger.WithIndexer(indexer),
 		trigger.WithBatchWindow(5*time.Millisecond))
-	defer mon.Stop()
+	if err := mon.Start(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+	defer mon.Shutdown(context.Background())
 
 	show := func(label string) {
 		fmt.Printf("\n-- %s --\n", label)

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -28,13 +29,14 @@ func main() {
 	gen := func(key cache.Key, version int64) (*cache.Object, error) {
 		return st.Engine.Generate(key, version)
 	}
-	engine := core.NewEngine(graph, core.SingleCache{C: serving}, core.WithGenerator(gen))
+	engine := core.NewEngine(graph, serving, core.WithGenerator(gen))
 
 	var err error
 	st, err = site.Build(site.DefaultSpec(), master, engine)
 	if err != nil {
 		log.Fatal(err)
 	}
+	engine.SetAssembler(st.Engine)
 	fmt.Printf("built site: %d dynamic pages, %d events, %d athletes\n",
 		len(st.Pages()), len(st.Events), len(st.AthleteIDs))
 
@@ -43,10 +45,13 @@ func main() {
 		log.Fatal(err)
 	}
 	serving.ResetCounters()
-	mon := trigger.Start(master, engine,
+	mon := trigger.New(trigger.Config{DB: master, Engine: engine},
 		trigger.WithIndexer(st.Indexer),
 		trigger.WithBatchWindow(5*time.Millisecond))
-	defer mon.Stop()
+	if err := mon.Start(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+	defer mon.Shutdown(context.Background())
 
 	// One serving node in front of the cache.
 	node := httpserver.New("up0", serving, gen, master.LSN)

@@ -40,7 +40,7 @@ func main() {
 		body := fmt.Sprintf("<h1>%s</h1><p>Gold: %s</p>", key[1:], row.Cols["gold"])
 		return &cache.Object{Key: key, Value: []byte(body), Version: version}, nil
 	}
-	engine := core.NewEngine(graph, core.SingleCache{C: pages}, core.WithGenerator(gen))
+	engine := core.NewEngine(graph, pages, core.WithGenerator(gen))
 
 	// 3. Render both pages, cache them, and register their dependencies —
 	// each page depends on its row.

@@ -29,7 +29,7 @@ func main() {
 		body := fmt.Sprintf("stats page (render #%d, as of update %d)", renders, version)
 		return &cache.Object{Key: key, Value: []byte(body), Version: version}, nil
 	}
-	engine := core.NewEngine(graph, core.SingleCache{C: pages},
+	engine := core.NewEngine(graph, pages,
 		core.WithGenerator(gen),
 		core.WithStalenessThreshold(5))
 

@@ -45,7 +45,7 @@ func TestIntegrationDayInTheLife(t *testing.T) {
 	if err := d.Start(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	defer d.Stop()
+	defer d.Shutdown(context.Background())
 	if err := d.Prime(30 * time.Second); err != nil {
 		t.Fatal(err)
 	}

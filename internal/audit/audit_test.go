@@ -17,7 +17,7 @@ import (
 // tinySite defines a single page reading one row through the context —
 // a minimal correct site for classification tests.
 func tinySite(database *db.DB, reg fragment.Registrar) (*fragment.Engine, []string, error) {
-	fe := fragment.NewEngine(database, reg)
+	fe := fragment.New(fragment.Config{DB: database, Registrar: reg})
 	fe.Define("/p", func(ctx *fragment.Context) ([]byte, error) {
 		row, _, err := ctx.Get("t", "k")
 		if err != nil {

@@ -86,46 +86,20 @@ type Store interface {
 	ApplyInvalidatePrefix(prefix string) int
 }
 
-// SingleCache adapts one *cache.Cache to the Store interface.
-//
-// Deprecated: *cache.Cache implements Store directly; pass the cache
-// itself. Kept as a thin wrapper so existing callers compile.
-type SingleCache struct{ C *cache.Cache }
-
-// ApplyPut implements Store.
-func (s SingleCache) ApplyPut(obj *cache.Object) { s.C.Put(obj) }
-
-// ApplyInvalidate implements Store.
-func (s SingleCache) ApplyInvalidate(key cache.Key) int {
-	if s.C.Invalidate(key) {
-		return 1
-	}
-	return 0
-}
-
-// ApplyInvalidatePrefix implements Store.
-func (s SingleCache) ApplyInvalidatePrefix(prefix string) int {
-	return s.C.InvalidatePrefix(prefix)
-}
-
-// GroupStore adapts a *cache.Group (the per-complex broadcast distributor)
-// to the Store interface.
-//
-// Deprecated: *cache.Group implements Store directly; pass the group
-// itself. Kept as a thin wrapper so existing callers compile.
-type GroupStore struct{ G *cache.Group }
-
-// ApplyPut implements Store.
-func (s GroupStore) ApplyPut(obj *cache.Object) { s.G.BroadcastPut(obj) }
-
-// ApplyInvalidate implements Store.
-func (s GroupStore) ApplyInvalidate(key cache.Key) int {
-	return s.G.BroadcastInvalidate(key)
-}
-
-// ApplyInvalidatePrefix implements Store.
-func (s GroupStore) ApplyInvalidatePrefix(prefix string) int {
-	return s.G.BroadcastInvalidatePrefix(prefix)
+// Assembler is the engine's contract with an incremental page-assembly
+// renderer (*fragment.Engine implements it). Before phase-1 fragment
+// regeneration the engine opens a batch, pinning the batch version as the
+// required floor for every changed fragment — page assembly then splices
+// cached fragment bytes only at or above their floors, re-rendering (with
+// single-flight deduplication) anything stale. EndBatch closes the batch
+// and reports its render-vs-reuse accounting.
+type Assembler interface {
+	// BeginBatch pins version as the required floor for the changed
+	// fragments and opens the batch's accounting window.
+	BeginBatch(version int64, fragments []cache.Key)
+	// EndBatch reports fragment renders and cached-byte reuses performed
+	// since BeginBatch.
+	EndBatch() (renders, reuses int64)
 }
 
 // Generator re-renders the object stored under key. The returned object's
@@ -167,6 +141,13 @@ type Result struct {
 	// instead so the cache can never serve a page DUP knows is stale.
 	Errors []error
 
+	// FragmentRenders and FragmentReuses are the batch's render-vs-reuse
+	// accounting from the assembler: fragments rendered (each changed
+	// fragment exactly once) and cached fragment splices during page
+	// assembly. Zero when no assembler is wired.
+	FragmentRenders int
+	FragmentReuses  int
+
 	// Stage timings, for propagation tracing (internal/trace): how long
 	// this propagation spent traversing the dependence graph, regenerating
 	// objects, and pushing remedies into the store. Render and push are
@@ -175,6 +156,12 @@ type Result struct {
 	GraphDur  time.Duration
 	RenderDur time.Duration
 	PushDur   time.Duration
+	// FragmentDur and AssembleDur split the incremental planner's wall
+	// clock into phase 1 (changed-fragment renders) and phase 2 (page
+	// assembly). Zero when no assembler is wired; RenderDur remains the
+	// cumulative per-worker render time across both phases.
+	FragmentDur time.Duration
+	AssembleDur time.Duration
 }
 
 // stageTiming accumulates render/push nanoseconds across the (possibly
@@ -196,6 +183,14 @@ type Engine struct {
 	hot    HotOracle
 	trace  TraceFunc
 
+	// asm, when set, switches update-in-place propagation to the
+	// incremental planner: the affected set is partitioned into changed
+	// fragments and containing pages, fragments render exactly once in
+	// phase 1, and pages rebuild by memoized assembly in phase 2. Written
+	// once at wiring time (WithAssembler or SetAssembler), before
+	// propagation starts.
+	asm Assembler
+
 	// threshold enables weighted mode when > 0: objects accumulate
 	// staleness across propagations and are remediated only once the
 	// accumulation reaches the threshold (section 2: "it is often possible
@@ -215,6 +210,8 @@ type Engine struct {
 	invalidated  stats.Counter
 	deferred     stats.Counter
 	genErrors    stats.Counter
+	fragRenders  stats.Counter
+	fragReuses   stats.Counter
 }
 
 // Option configures an Engine.
@@ -271,6 +268,22 @@ type TraceFunc func(TraceEvent)
 func WithTrace(t TraceFunc) Option {
 	return func(e *Engine) { e.trace = t }
 }
+
+// WithAssembler wires an incremental page assembler (typically the
+// complex's *fragment.Engine): update-in-place propagation partitions the
+// affected set into changed fragments and containing pages, renders each
+// fragment exactly once per batch, and rebuilds pages by splicing the
+// cached fragment bytes.
+func WithAssembler(a Assembler) Option {
+	return func(e *Engine) { e.asm = a }
+}
+
+// SetAssembler wires the incremental assembler after construction — the
+// deployment builds its engine before the site (and therefore the fragment
+// engine) exists, so the binding is necessarily late. Call before
+// propagation starts; the engine does not synchronize this field against
+// in-flight OnChange calls.
+func (e *Engine) SetAssembler(a Assembler) { e.asm = a }
 
 // WithParallelism regenerates affected objects with n concurrent workers
 // per dependency level (fragments still complete before the pages embedding
@@ -384,27 +397,67 @@ func (e *Engine) updateInPlace(res *Result, version int64, affected []odg.NodeID
 		return
 	}
 	var tm stageTiming
-	ordered := e.dependencyOrder(affected)
-	if e.workers > 1 && len(ordered) > 1 {
-		e.regenerateParallel(res, version, ordered, &tm)
+	if e.asm != nil {
+		e.assemble(res, version, affected, &tm)
 	} else {
-		for _, id := range ordered {
-			updated, invalidated, err := e.regenerateOne(version, id, &tm)
-			if updated {
-				res.Updated++
-			}
-			if invalidated {
-				res.Invalidated++
-			}
-			if err != nil {
-				res.Errors = append(res.Errors, err)
-			}
-		}
+		e.regenerateSet(res, version, e.dependencyOrder(affected), &tm)
 	}
 	res.RenderDur += time.Duration(tm.render.Load())
 	res.PushDur += time.Duration(tm.push.Load())
 	e.updated.Add(int64(res.Updated))
 	e.invalidated.Add(int64(res.Invalidated))
+}
+
+// assemble is the incremental batch planner: partition the affected set
+// into changed fragments and merely-containing pages, open the assembler's
+// batch (pinning fragment version floors), render each changed fragment
+// exactly once in phase 1 (dependency-ordered, so nested fragments precede
+// their embedders), then rebuild the containing pages in phase 2 as one
+// flat parallel wave — every fragment a page splices is already fresh, so
+// page assembly degenerates to cached-byte concatenation and the batch's
+// render work scales with the number of changed fragments, not
+// pages x fragments.
+func (e *Engine) assemble(res *Result, version int64, affected []odg.NodeID, tm *stageTiming) {
+	fragments, pages := e.graph.Partition(affected)
+	keys := make([]cache.Key, len(fragments))
+	for i, id := range fragments {
+		keys[i] = cache.Key(id)
+	}
+	e.asm.BeginBatch(version, keys)
+	fragStart := time.Now()
+	e.regenerateSet(res, version, e.dependencyOrder(fragments), tm)
+	res.FragmentDur += time.Since(fragStart)
+	asmStart := time.Now()
+	// Pages have no edges among themselves (a depended-on vertex is by
+	// definition in the fragment partition), so no ordering pass is needed.
+	e.regenerateSet(res, version, pages, tm)
+	res.AssembleDur += time.Since(asmStart)
+	renders, reuses := e.asm.EndBatch()
+	res.FragmentRenders += int(renders)
+	res.FragmentReuses += int(reuses)
+	e.fragRenders.Add(renders)
+	e.fragReuses.Add(reuses)
+}
+
+// regenerateSet regenerates an ordered set of objects, concurrently when
+// the engine has workers configured.
+func (e *Engine) regenerateSet(res *Result, version int64, ordered []odg.NodeID, tm *stageTiming) {
+	if e.workers > 1 && len(ordered) > 1 {
+		e.regenerateParallel(res, version, ordered, tm)
+		return
+	}
+	for _, id := range ordered {
+		updated, invalidated, err := e.regenerateOne(version, id, tm)
+		if updated {
+			res.Updated++
+		}
+		if invalidated {
+			res.Invalidated++
+		}
+		if err != nil {
+			res.Errors = append(res.Errors, err)
+		}
+	}
 }
 
 // regenerateOne renders a single object and applies it, or invalidates it
@@ -597,16 +650,23 @@ type EngineStats struct {
 	Invalidated  int64
 	Deferred     int64
 	GenErrors    int64
+	// FragmentRenders and FragmentReuses accumulate the assembler's
+	// render-vs-reuse accounting across batches (zero when no assembler
+	// is wired).
+	FragmentRenders int64
+	FragmentReuses  int64
 }
 
 // Stats returns a snapshot of the engine's counters.
 func (e *Engine) Stats() EngineStats {
 	return EngineStats{
-		Propagations: e.propagations.Value(),
-		Updated:      e.updated.Value(),
-		Invalidated:  e.invalidated.Value(),
-		Deferred:     e.deferred.Value(),
-		GenErrors:    e.genErrors.Value(),
+		Propagations:    e.propagations.Value(),
+		Updated:         e.updated.Value(),
+		Invalidated:     e.invalidated.Value(),
+		Deferred:        e.deferred.Value(),
+		GenErrors:       e.genErrors.Value(),
+		FragmentRenders: e.fragRenders.Value(),
+		FragmentReuses:  e.fragReuses.Value(),
 	}
 }
 
@@ -624,4 +684,8 @@ func (e *Engine) RegisterMetrics(reg *stats.Registry, labels stats.Labels) {
 		"remedies deferred below the staleness threshold", labels, &e.deferred)
 	reg.RegisterCounter("dup_generator_errors_total",
 		"object regeneration failures", labels, &e.genErrors)
+	reg.RegisterCounter("core_fragment_renders_total",
+		"fragments rendered by incremental propagation batches", labels, &e.fragRenders)
+	reg.RegisterCounter("core_fragment_reuses_total",
+		"cached fragment byte-splices during page assembly", labels, &e.fragReuses)
 }

@@ -33,7 +33,7 @@ func newEngine(t *testing.T, opts ...Option) (*Engine, *cache.Cache) {
 	t.Helper()
 	c := cache.New("test")
 	g := odg.New()
-	e := NewEngine(g, SingleCache{C: c}, opts...)
+	e := NewEngine(g, c, opts...)
 	return e, c
 }
 
@@ -235,7 +235,7 @@ func TestWeightedThresholdDefersMinorUpdates(t *testing.T) {
 	gen, _ := testGen()
 	c := cache.New("t")
 	g := odg.New()
-	e := NewEngine(g, SingleCache{C: c}, WithGenerator(gen), WithStalenessThreshold(3))
+	e := NewEngine(g, c, WithGenerator(gen), WithStalenessThreshold(3))
 	// A page depends weakly (w=1) on a ticker row and strongly (w=5) on
 	// the event result row.
 	g.AddNode("/p", odg.KindObject)
@@ -279,7 +279,7 @@ func TestGroupStoreFansOut(t *testing.T) {
 	}
 	gen, _ := testGen()
 	g := odg.New()
-	e := NewEngine(g, GroupStore{G: grp}, WithGenerator(gen))
+	e := NewEngine(g, grp, WithGenerator(gen))
 	e.RegisterObject("/p", []odg.NodeID{"db:x"})
 	res := e.OnChange(1, "db:x")
 	if res.Updated != 1 {
@@ -291,7 +291,7 @@ func TestGroupStoreFansOut(t *testing.T) {
 		}
 	}
 	// Invalidate fan-out counts replicas.
-	if n := (GroupStore{G: grp}).ApplyInvalidate("/p"); n != 8 {
+	if n := grp.ApplyInvalidate("/p"); n != 8 {
 		t.Fatalf("ApplyInvalidate = %d, want 8", n)
 	}
 }
@@ -340,7 +340,7 @@ func BenchmarkOnChangeUpdateInPlace(b *testing.B) {
 	}
 	c := cache.New("b")
 	g := odg.New()
-	e := NewEngine(g, SingleCache{C: c}, WithGenerator(gen))
+	e := NewEngine(g, c, WithGenerator(gen))
 	for i := 0; i < 100; i++ {
 		e.RegisterObject(cache.Key(fmt.Sprintf("/p%d", i)), []odg.NodeID{"db:hot"})
 	}
@@ -353,7 +353,7 @@ func BenchmarkOnChangeUpdateInPlace(b *testing.B) {
 func BenchmarkOnChangeInvalidate(b *testing.B) {
 	c := cache.New("b")
 	g := odg.New()
-	e := NewEngine(g, SingleCache{C: c}, WithPolicy(PolicyInvalidate))
+	e := NewEngine(g, c, WithPolicy(PolicyInvalidate))
 	for i := 0; i < 100; i++ {
 		e.RegisterObject(cache.Key(fmt.Sprintf("/p%d", i)), []odg.NodeID{"db:hot"})
 	}
@@ -388,7 +388,7 @@ func TestParallelRegenerationOrdersFragmentsFirst(t *testing.T) {
 	}
 	c := cache.New("t")
 	g := odg.New()
-	e := NewEngine(g, SingleCache{C: c}, WithGenerator(gen), WithParallelism(4))
+	e := NewEngine(g, c, WithGenerator(gen), WithParallelism(4))
 	e.RegisterFragment("frag:a", []odg.NodeID{"db:x"})
 	e.RegisterFragment("frag:b", []odg.NodeID{"db:x"})
 	for i := 0; i < 20; i++ {
@@ -415,7 +415,7 @@ func TestParallelMatchesSequentialCounts(t *testing.T) {
 		if workers > 1 {
 			opts = append(opts, WithParallelism(workers))
 		}
-		e := NewEngine(g, SingleCache{C: c}, opts...)
+		e := NewEngine(g, c, opts...)
 		e.RegisterFragment("frag:m", []odg.NodeID{"db:x"})
 		for i := 0; i < 50; i++ {
 			e.RegisterObject(cache.Key(fmt.Sprintf("/p%d", i)), []odg.NodeID{"frag:m"})
@@ -438,7 +438,7 @@ func TestParallelGeneratorFailureStillInvalidates(t *testing.T) {
 	}
 	c := cache.New("t")
 	g := odg.New()
-	e := NewEngine(g, SingleCache{C: c}, WithGenerator(gen), WithParallelism(4))
+	e := NewEngine(g, c, WithGenerator(gen), WithParallelism(4))
 	c.Put(&cache.Object{Key: "/bad", Value: []byte("stale")})
 	e.RegisterObject("/bad", []odg.NodeID{"db:x"})
 	for i := 0; i < 10; i++ {
@@ -458,7 +458,7 @@ func TestHybridPolicyHotVsCold(t *testing.T) {
 	c := cache.New("t")
 	g := odg.New()
 	hot := func(key cache.Key) bool { return c.HitCount(key) >= 3 }
-	e := NewEngine(g, SingleCache{C: c}, WithGenerator(gen),
+	e := NewEngine(g, c, WithGenerator(gen),
 		WithPolicy(PolicyHybrid), WithHotOracle(hot))
 	e.RegisterObject("/hot", []odg.NodeID{"db:x"})
 	e.RegisterObject("/cold", []odg.NodeID{"db:x"})
@@ -489,7 +489,7 @@ func TestHybridFragmentsAlwaysRegenerated(t *testing.T) {
 	c := cache.New("t")
 	g := odg.New()
 	cold := func(cache.Key) bool { return false } // everything is cold
-	e := NewEngine(g, SingleCache{C: c}, WithGenerator(gen),
+	e := NewEngine(g, c, WithGenerator(gen),
 		WithPolicy(PolicyHybrid), WithHotOracle(cold))
 	e.RegisterFragment("frag:m", []odg.NodeID{"db:x"})
 	e.RegisterObject("/p", []odg.NodeID{"frag:m"})
@@ -509,7 +509,7 @@ func TestHybridWithoutOracleEqualsUpdateInPlace(t *testing.T) {
 	gen, _ := testGen()
 	c := cache.New("t")
 	g := odg.New()
-	e := NewEngine(g, SingleCache{C: c}, WithGenerator(gen), WithPolicy(PolicyHybrid))
+	e := NewEngine(g, c, WithGenerator(gen), WithPolicy(PolicyHybrid))
 	e.RegisterObject("/p", []odg.NodeID{"db:x"})
 	res := e.OnChange(1, "db:x")
 	if res.Updated != 1 || res.Invalidated != 0 {
@@ -560,7 +560,7 @@ func TestTraceEvents(t *testing.T) {
 	}
 	c := cache.New("t")
 	g := odg.New()
-	e := NewEngine(g, SingleCache{C: c}, WithGenerator(gen), WithTrace(tr))
+	e := NewEngine(g, c, WithGenerator(gen), WithTrace(tr))
 	e.RegisterObject("/ok", []odg.NodeID{"db:x"})
 	e.RegisterObject("/bad", []odg.NodeID{"db:x"})
 	e.OnChange(7, "db:x")
@@ -587,7 +587,7 @@ func TestTraceInvalidateAndDefer(t *testing.T) {
 	tr := func(ev TraceEvent) { events = append(events, ev) }
 	c := cache.New("t")
 	g := odg.New()
-	e := NewEngine(g, SingleCache{C: c}, WithPolicy(PolicyInvalidate), WithTrace(tr))
+	e := NewEngine(g, c, WithPolicy(PolicyInvalidate), WithTrace(tr))
 	e.RegisterObject("/p", []odg.NodeID{"db:x"})
 	e.OnChange(1, "db:x")
 	if len(events) != 1 || events[0].Action != "invalidate" {
@@ -598,7 +598,7 @@ func TestTraceInvalidateAndDefer(t *testing.T) {
 	events = nil
 	gen, _ := testGen()
 	g2 := odg.New()
-	e2 := NewEngine(g2, SingleCache{C: c}, WithGenerator(gen),
+	e2 := NewEngine(g2, c, WithGenerator(gen),
 		WithStalenessThreshold(10), WithTrace(tr))
 	g2.AddNode("/q", odg.KindObject)
 	if err := g2.AddWeightedEdge("db:t", "/q", 1); err != nil {

@@ -41,6 +41,7 @@ import (
 	"dupserve/internal/fault"
 	"dupserve/internal/fragment"
 	"dupserve/internal/httpserver"
+	"dupserve/internal/lifecycle"
 	"dupserve/internal/obs"
 	"dupserve/internal/odg"
 	"dupserve/internal/overload"
@@ -396,6 +397,12 @@ func (d *Deployment) newComplex(cs ComplexSpec, cfg Config, feed *db.DB, feedNam
 	if err != nil {
 		return nil, err
 	}
+	// Incremental propagation: the engine's update-in-place path renders
+	// each changed fragment once per batch and rebuilds containing pages by
+	// splicing the fragment engine's cached bytes. The binding is late
+	// because the site (and its fragment engine) is built around the
+	// engine's registrar.
+	engine.SetAssembler(csite.Engine)
 	var groupOpts []cache.GroupOption
 	if d.inj != nil {
 		groupOpts = append(groupOpts, cache.WithPutHook(d.inj.PushHook(cs.Name)))
@@ -573,6 +580,14 @@ func (d *Deployment) Start(ctx context.Context) error {
 			replOpts = append(replOpts, db.WithPartitionCheck(d.inj.PartitionCheck(cx.Link)))
 		}
 		cx.Replicator = db.StartReplication(cx.feed, cx.Replica, replOpts...)
+		// The render engine is a lifecycle.Component like the monitor that
+		// drives it: start it before the monitor so propagation never races
+		// a half-supervised renderer, stop it after (see Shutdown).
+		var renderer lifecycle.Component = cx.Site.Engine
+		if err := renderer.Start(ctx); err != nil {
+			_ = d.Shutdown(context.Background())
+			return err
+		}
 		if err := d.startMonitor(cx, 0); err != nil {
 			_ = d.Shutdown(context.Background())
 			return err
@@ -682,17 +697,15 @@ func (d *Deployment) Shutdown(ctx context.Context) error {
 				first = err
 			}
 		}
+		if err := cx.Site.Engine.Shutdown(ctx); err != nil && first == nil {
+			first = err
+		}
 		if cx.Replicator != nil {
 			cx.Replicator.Stop()
 		}
 	}
 	return first
 }
-
-// Stop shuts down every trigger monitor and replicator.
-//
-// Deprecated: use Shutdown, which bounds the drain with a context.
-func (d *Deployment) Stop() { _ = d.Shutdown(context.Background()) }
 
 // MonitorRestarts returns how many monitor restarts supervision has
 // performed across all complexes.

@@ -34,7 +34,7 @@ func newDeployment(t *testing.T) *Deployment {
 	if err := d.Start(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(d.Stop)
+	t.Cleanup(func() { _ = d.Shutdown(context.Background()) })
 	if err := d.Prime(10 * time.Second); err != nil {
 		t.Fatal(err)
 	}
@@ -183,10 +183,14 @@ func TestComplexFailureServedElsewhere(t *testing.T) {
 	}
 }
 
-func TestStopIdempotent(t *testing.T) {
+func TestShutdownIdempotent(t *testing.T) {
 	d := newDeployment(t)
-	d.Stop()
-	d.Stop()
+	if err := d.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestFreshnessLatencyIsSeconds(t *testing.T) {
@@ -220,7 +224,7 @@ func TestRenderWorkersDeployment(t *testing.T) {
 	if err := d.Start(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	defer d.Stop()
+	defer d.Shutdown(context.Background())
 	if err := d.Prime(10 * time.Second); err != nil {
 		t.Fatal(err)
 	}

@@ -25,7 +25,7 @@ func newOverloadDeployment(t *testing.T, ocfg overload.Config, budget time.Durat
 	if err := d.Start(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(d.Stop)
+	t.Cleanup(func() { _ = d.Shutdown(context.Background()) })
 	if err := d.Prime(10 * time.Second); err != nil {
 		t.Fatal(err)
 	}

@@ -172,13 +172,6 @@ func New(cfg Config, opts ...Option) *Dispatcher {
 	return d
 }
 
-// NewPool returns a dispatcher over the given nodes, all initially up.
-//
-// Deprecated: use New(Config{Name: name, Nodes: nodes}, opts...).
-func NewPool(name string, nodes []Node, opts ...Option) *Dispatcher {
-	return New(Config{Name: name, Nodes: nodes}, opts...)
-}
-
 // Start implements the uniform component lifecycle: if the dispatcher was
 // configured with a probe interval, it launches the advisor loop (otherwise
 // it only arms shutdown). Cancelling ctx initiates the same teardown as
@@ -198,7 +191,7 @@ func (d *Dispatcher) Start(ctx context.Context) error {
 		go func() {
 			select {
 			case <-ctx.Done():
-				d.Stop()
+				d.stop()
 			case <-d.stopCh:
 			}
 		}()
@@ -211,7 +204,7 @@ func (d *Dispatcher) Start(ctx context.Context) error {
 // the uniform lifecycle contract. Safe to call more than once and before
 // Start.
 func (d *Dispatcher) Shutdown(ctx context.Context) error {
-	d.Stop()
+	d.stop()
 	return nil
 }
 
@@ -504,11 +497,9 @@ func (d *Dispatcher) StartAdvisors(interval time.Duration) {
 	}()
 }
 
-// Stop terminates advisor loops. Safe to call multiple times, and a no-op
+// stop terminates advisor loops. Safe to call multiple times, and a no-op
 // if StartAdvisors was never called.
-//
-// Deprecated: use Shutdown.
-func (d *Dispatcher) Stop() {
+func (d *Dispatcher) stop() {
 	d.stopOnce.Do(func() { close(d.stopCh) })
 	d.wg.Wait()
 }

@@ -1,6 +1,7 @@
 package dispatch
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -222,7 +223,7 @@ func TestStartAdvisorsBackground(t *testing.T) {
 	d := New(Config{Name: "nd", Nodes: ns})
 	fs[0].failing.Store(true)
 	d.StartAdvisors(2 * time.Millisecond)
-	defer d.Stop()
+	defer d.Shutdown(context.Background())
 	deadline := time.Now().Add(5 * time.Second)
 	for time.Now().Before(deadline) {
 		if d.HealthyCount() == 0 {
@@ -233,10 +234,14 @@ func TestStartAdvisorsBackground(t *testing.T) {
 	t.Fatal("background advisor never pulled the failing node")
 }
 
-func TestStopIdempotent(t *testing.T) {
+func TestShutdownIdempotent(t *testing.T) {
 	d := New(Config{Name: "nd"})
-	d.Stop()
-	d.Stop()
+	if err := d.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestDispatchersCompose(t *testing.T) {

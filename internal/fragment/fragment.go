@@ -20,14 +20,18 @@ package fragment
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"dupserve/internal/cache"
 	"dupserve/internal/db"
+	"dupserve/internal/lifecycle"
 	"dupserve/internal/odg"
 )
 
@@ -64,6 +68,70 @@ type Engine struct {
 
 	mu   sync.RWMutex
 	defs map[string]Func
+
+	// fullReRender disables memoized assembly: every Include recursively
+	// re-renders its fragment. It exists as the measured baseline for the
+	// incremental-propagation benchmark and the byte-identity tests.
+	fullReRender atomic.Bool
+
+	// floors holds the per-fragment required version set by BeginBatch: a
+	// cached fragment may be spliced into a page only if its Version is at
+	// or above the floor. Fragments never named in a batch keep floor zero,
+	// so unchanged fragments remain reusable at whatever version they were
+	// last rendered.
+	floorMu sync.RWMutex
+	floors  map[string]int64
+
+	// flights deduplicates concurrent renders of the same fragment at the
+	// same version: parallel page-assembly workers that find a fragment
+	// missing or below its floor share one render instead of each running
+	// it. Only fragment Generates and Includes issued from a page context
+	// enter a flight; an Include inside a fragment render — whose stack may
+	// itself hold a flight — renders inline, so a flight holder never waits
+	// on a flight and deadlock is impossible even with cyclic includes.
+	flightMu sync.Mutex
+	flights  map[string]*flight
+
+	// Render-vs-reuse accounting. renders counts fragment renders (not
+	// pages); reuses counts Includes satisfied by splicing cached bytes.
+	renders atomic.Int64
+	reuses  atomic.Int64
+	// batchRenders/batchReuses snapshot the totals at BeginBatch so
+	// EndBatch can report per-batch deltas.
+	batchRenders int64
+	batchReuses  int64
+
+	// Uniform component lifecycle. The engine runs no background
+	// goroutines — renders execute on the caller's goroutine — so Start
+	// only arms ctx-cancellation and Shutdown is an immediate drain, but
+	// the contract lets deploy supervise render engines like any other
+	// component.
+	lifeMu   sync.Mutex
+	started  bool
+	stopOnce sync.Once
+	stopped  chan struct{}
+}
+
+// flight is one in-progress shared fragment render; waiters block on done
+// and read obj/err afterwards.
+type flight struct {
+	done chan struct{}
+	obj  *cache.Object
+	err  error
+}
+
+// Engine follows the uniform component lifecycle so deploy can supervise
+// render engines exactly like monitors and dispatchers.
+var _ lifecycle.Component = (*Engine)(nil)
+
+// Config describes an Engine. DB is required; Registrar may be nil for
+// standalone use (tests, static generation).
+type Config struct {
+	// DB is the database renders read through.
+	DB *db.DB
+	// Registrar receives dependency registrations after each render
+	// (typically the complex's *core.Engine); nil disables registration.
+	Registrar Registrar
 }
 
 // Option configures an Engine.
@@ -74,21 +142,117 @@ func WithMaxDepth(d int) Option {
 	return func(e *Engine) { e.maxDepth = d }
 }
 
-// NewEngine returns an engine reading from database and reporting
-// dependency registrations to registrar (which may be nil for standalone
-// use, e.g. in tests or static generation).
-func NewEngine(database *db.DB, registrar Registrar, opts ...Option) *Engine {
+// WithFullReRender disables memoized assembly: every Include recursively
+// re-renders its fragment instead of consulting the fragment cache. This is
+// the O(pages x fragments) baseline the incremental-propagation benchmark
+// measures against; production engines never want it.
+func WithFullReRender() Option {
+	return func(e *Engine) { e.fullReRender.Store(true) }
+}
+
+// New returns an engine over cfg in the repo-standard constructor shape.
+func New(cfg Config, opts ...Option) *Engine {
 	e := &Engine{
-		database:  database,
-		registrar: registrar,
+		database:  cfg.DB,
+		registrar: cfg.Registrar,
 		fragCache: cache.New("fragments"),
 		maxDepth:  8,
 		defs:      make(map[string]Func),
+		floors:    make(map[string]int64),
+		flights:   make(map[string]*flight),
+		stopped:   make(chan struct{}),
 	}
 	for _, o := range opts {
 		o(e)
 	}
 	return e
+}
+
+// NewEngine returns an engine reading from database and reporting
+// dependency registrations to registrar.
+//
+// Deprecated: use New(Config{DB: database, Registrar: registrar}, opts...).
+func NewEngine(database *db.DB, registrar Registrar, opts ...Option) *Engine {
+	return New(Config{DB: database, Registrar: registrar}, opts...)
+}
+
+// SetFullReRender toggles the full-re-render baseline mode at runtime (see
+// WithFullReRender). Benchmarks flip it on a site-built engine whose
+// construction they do not control.
+func (e *Engine) SetFullReRender(on bool) { e.fullReRender.Store(on) }
+
+// Start implements lifecycle.Component. The engine has no background work
+// of its own; Start arms ctx so cancellation initiates the same orderly
+// shutdown as Shutdown. Starting twice is an error.
+func (e *Engine) Start(ctx context.Context) error {
+	e.lifeMu.Lock()
+	if e.started {
+		e.lifeMu.Unlock()
+		return errors.New("fragment: engine already started")
+	}
+	e.started = true
+	e.lifeMu.Unlock()
+	if ctx != nil && ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				_ = e.Shutdown(context.Background())
+			case <-e.stopped:
+			}
+		}()
+	}
+	return nil
+}
+
+// Shutdown implements lifecycle.Component. Renders run on the caller's
+// goroutine, so by the time upstream components (trigger monitors, serving
+// nodes) have drained there is no in-flight work to wait for; the drain is
+// immediate and ctx is accepted only to satisfy the uniform contract. Safe
+// to call more than once and before Start.
+func (e *Engine) Shutdown(context.Context) error {
+	e.stopOnce.Do(func() { close(e.stopped) })
+	return nil
+}
+
+// BeginBatch opens one propagation batch: version becomes the required
+// floor for each named fragment, so page assembly within (and after) the
+// batch refuses to splice a stale copy of a changed fragment and re-renders
+// it instead. It also snapshots the render/reuse totals so EndBatch can
+// report the batch's deltas. The DUP engine calls this before phase-1
+// fragment regeneration; it satisfies core.Assembler.
+func (e *Engine) BeginBatch(version int64, fragments []cache.Key) {
+	e.floorMu.Lock()
+	for _, k := range fragments {
+		if name := string(k); e.floors[name] < version {
+			e.floors[name] = version
+		}
+	}
+	e.batchRenders = e.renders.Load()
+	e.batchReuses = e.reuses.Load()
+	e.floorMu.Unlock()
+}
+
+// EndBatch closes the batch opened by BeginBatch and returns how many
+// fragment renders and cached-byte reuses it performed — the render-vs-
+// reuse accounting that shows each changed fragment rendered exactly once
+// while every containing page spliced it.
+func (e *Engine) EndBatch() (renders, reuses int64) {
+	e.floorMu.RLock()
+	defer e.floorMu.RUnlock()
+	return e.renders.Load() - e.batchRenders, e.reuses.Load() - e.batchReuses
+}
+
+// Accounting returns the lifetime fragment render and reuse totals.
+func (e *Engine) Accounting() (renders, reuses int64) {
+	return e.renders.Load(), e.reuses.Load()
+}
+
+// floor returns the required version for a fragment (zero if it was never
+// named in a batch).
+func (e *Engine) floor(name string) int64 {
+	e.floorMu.RLock()
+	defer e.floorMu.RUnlock()
+	return e.floors[name]
 }
 
 // Define registers the renderer for a page path ("/en/day7/home") or a
@@ -130,9 +294,42 @@ func (e *Engine) FragmentCache() *cache.Cache { return e.fragCache }
 // and returns the cacheable object. It satisfies core.Generator, so an
 // Engine plugs directly into the DUP engine as the regenerator for
 // update-in-place propagation. Fragments are additionally stored in the
-// engine's fragment cache so that including pages splice the fresh bytes.
+// engine's fragment cache so that including pages splice the fresh bytes;
+// concurrent Generates of the same fragment at the same version share one
+// render through the engine's single-flight table.
 func (e *Engine) Generate(key cache.Key, version int64) (*cache.Object, error) {
-	return e.render(string(key), version, 0)
+	name := string(key)
+	if IsFragment(name) && !e.fullReRender.Load() {
+		obj, _, err := e.renderShared(name, version, 0)
+		return obj, err
+	}
+	return e.render(name, version, 0)
+}
+
+// renderShared renders a fragment through the single-flight table: the
+// first caller for a given (name, version) renders; concurrent callers
+// block and share the result. The flight key pins the version so renders
+// requested at different versions never alias. waited reports whether this
+// caller shared another caller's render instead of performing its own —
+// Include counts that as a reuse.
+func (e *Engine) renderShared(name string, version int64, depth int) (obj *cache.Object, waited bool, err error) {
+	fkey := name + "@" + strconv.FormatInt(version, 10)
+	e.flightMu.Lock()
+	if f, ok := e.flights[fkey]; ok {
+		e.flightMu.Unlock()
+		<-f.done
+		return f.obj, true, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	e.flights[fkey] = f
+	e.flightMu.Unlock()
+
+	f.obj, f.err = e.render(name, version, depth)
+	e.flightMu.Lock()
+	delete(e.flights, fkey)
+	e.flightMu.Unlock()
+	close(f.done)
+	return f.obj, false, f.err
 }
 
 func (e *Engine) render(name string, version int64, depth int) (*cache.Object, error) {
@@ -145,7 +342,7 @@ func (e *Engine) render(name string, version int64, depth int) (*cache.Object, e
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknown, name)
 	}
-	ctx := &Context{engine: e, version: version, depth: depth, deps: make(map[odg.NodeID]struct{})}
+	ctx := &Context{engine: e, name: name, version: version, depth: depth, deps: make(map[odg.NodeID]struct{})}
 	body, err := fn(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("fragment: render %q: %w", name, err)
@@ -162,6 +359,7 @@ func (e *Engine) render(name string, version int64, depth int) (*cache.Object, e
 	}
 	deps := ctx.depList()
 	if IsFragment(name) {
+		e.renders.Add(1)
 		e.fragCache.Put(obj)
 		if e.registrar != nil {
 			e.registrar.RegisterFragment(obj.Key, deps)
@@ -176,6 +374,7 @@ func (e *Engine) render(name string, version int64, depth int) (*cache.Object, e
 // concurrent use and must not outlive the render call.
 type Context struct {
 	engine      *Engine
+	name        string
 	version     int64
 	depth       int
 	deps        map[odg.NodeID]struct{}
@@ -233,15 +432,39 @@ func IndexID(table, prefix string) string {
 // bytes into the caller's output, and records a dependency on the fragment
 // vertex — not on the fragment's own underlying rows; transitivity through
 // the ODG handles those.
+//
+// This is the memoized-assembly hot path: a cached fragment is reused iff
+// its version is at or above the floor BeginBatch pinned for it, so a page
+// rebuilt by a propagation batch splices exactly the bytes phase 1 rendered
+// — never a stale copy of a changed fragment, and never a redundant
+// re-render of an unchanged one. A fragment found missing or below its
+// floor is rendered through the single-flight table when the including
+// renderer is a page, so parallel page-assembly workers share one render;
+// an Include inside a fragment render (whose stack may hold a flight)
+// renders inline, keeping flight waits acyclic.
 func (c *Context) Include(fragName string) ([]byte, error) {
 	if !IsFragment(fragName) {
 		return nil, fmt.Errorf("fragment: Include of non-fragment name %q", fragName)
 	}
 	c.deps[odg.NodeID(fragName)] = struct{}{}
-	if obj, ok := c.engine.fragCache.Get(cache.Key(fragName)); ok {
-		return obj.Value, nil
+	e := c.engine
+	if !e.fullReRender.Load() {
+		if obj, ok := e.fragCache.Get(cache.Key(fragName)); ok && obj.Version >= e.floor(fragName) {
+			e.reuses.Add(1)
+			return obj.Value, nil
+		}
+		if c.depth == 0 && !IsFragment(c.name) {
+			obj, waited, err := e.renderShared(fragName, c.version, c.depth+1)
+			if err != nil {
+				return nil, err
+			}
+			if waited {
+				e.reuses.Add(1)
+			}
+			return obj.Value, nil
+		}
 	}
-	obj, err := c.engine.render(fragName, c.version, c.depth+1)
+	obj, err := e.render(fragName, c.version, c.depth+1)
 	if err != nil {
 		return nil, err
 	}

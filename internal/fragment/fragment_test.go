@@ -55,7 +55,7 @@ func testDB(t *testing.T) *db.DB {
 func TestRenderRecordsRowDependencies(t *testing.T) {
 	d := testDB(t)
 	rec := newRecorder()
-	e := NewEngine(d, rec)
+	e := New(Config{DB: d, Registrar: rec})
 	e.Define("/ski/ev1", func(ctx *Context) ([]byte, error) {
 		row, ok, err := ctx.Get("results", "ski:ev1")
 		if err != nil || !ok {
@@ -84,7 +84,7 @@ func TestRenderRecordsRowDependencies(t *testing.T) {
 func TestGetAbsentRowStillRecordsDependency(t *testing.T) {
 	d := testDB(t)
 	rec := newRecorder()
-	e := NewEngine(d, rec)
+	e := New(Config{DB: d, Registrar: rec})
 	e.Define("/pending", func(ctx *Context) ([]byte, error) {
 		_, ok, _ := ctx.Get("results", "ski:ev9")
 		if !ok {
@@ -104,7 +104,7 @@ func TestGetAbsentRowStillRecordsDependency(t *testing.T) {
 func TestScanRecordsRowsAndIndex(t *testing.T) {
 	d := testDB(t)
 	rec := newRecorder()
-	e := NewEngine(d, rec)
+	e := New(Config{DB: d, Registrar: rec})
 	e.Define("/ski", func(ctx *Context) ([]byte, error) {
 		rows, err := ctx.Scan("results", "ski:")
 		if err != nil {
@@ -130,7 +130,7 @@ func TestScanRecordsRowsAndIndex(t *testing.T) {
 func TestIncludeRecordsFragmentDependencyOnly(t *testing.T) {
 	d := testDB(t)
 	rec := newRecorder()
-	e := NewEngine(d, rec)
+	e := New(Config{DB: d, Registrar: rec})
 	e.Define("frag:medals", func(ctx *Context) ([]byte, error) {
 		row, _, _ := ctx.Get("results", "ski:ev1")
 		return []byte("medals:" + row.Cols["gold"]), nil
@@ -166,7 +166,7 @@ func TestIncludeRecordsFragmentDependencyOnly(t *testing.T) {
 
 func TestIncludeUsesCachedFragment(t *testing.T) {
 	d := testDB(t)
-	e := NewEngine(d, newRecorder())
+	e := New(Config{DB: d, Registrar: newRecorder()})
 	renders := 0
 	e.Define("frag:f", func(ctx *Context) ([]byte, error) {
 		renders++
@@ -187,7 +187,7 @@ func TestIncludeUsesCachedFragment(t *testing.T) {
 
 func TestIncludeFreshFragmentAfterRegeneration(t *testing.T) {
 	d := testDB(t)
-	e := NewEngine(d, newRecorder())
+	e := New(Config{DB: d, Registrar: newRecorder()})
 	val := "v1"
 	e.Define("frag:f", func(ctx *Context) ([]byte, error) { return []byte(val), nil })
 	e.Define("/p", func(ctx *Context) ([]byte, error) { return ctx.Include("frag:f") })
@@ -211,7 +211,7 @@ func TestIncludeFreshFragmentAfterRegeneration(t *testing.T) {
 
 func TestIncludeNonFragmentRejected(t *testing.T) {
 	d := testDB(t)
-	e := NewEngine(d, newRecorder())
+	e := New(Config{DB: d, Registrar: newRecorder()})
 	e.Define("/p", func(ctx *Context) ([]byte, error) { return ctx.Include("/other") })
 	if _, err := e.Generate("/p", 1); err == nil {
 		t.Fatal("expected error including a non-fragment name")
@@ -220,7 +220,7 @@ func TestIncludeNonFragmentRejected(t *testing.T) {
 
 func TestIncludeDepthLimit(t *testing.T) {
 	d := testDB(t)
-	e := NewEngine(d, newRecorder(), WithMaxDepth(3))
+	e := New(Config{DB: d, Registrar: newRecorder()}, WithMaxDepth(3))
 	// Self-including fragment.
 	e.Define("frag:loop", func(ctx *Context) ([]byte, error) { return ctx.Include("frag:loop") })
 	_, err := e.Generate("frag:loop", 1)
@@ -231,7 +231,7 @@ func TestIncludeDepthLimit(t *testing.T) {
 
 func TestUnknownName(t *testing.T) {
 	d := testDB(t)
-	e := NewEngine(d, newRecorder())
+	e := New(Config{DB: d, Registrar: newRecorder()})
 	if _, err := e.Generate("/ghost", 1); !errors.Is(err, ErrUnknown) {
 		t.Fatalf("err = %v, want ErrUnknown", err)
 	}
@@ -239,7 +239,7 @@ func TestUnknownName(t *testing.T) {
 
 func TestRenderErrorWrapped(t *testing.T) {
 	d := testDB(t)
-	e := NewEngine(d, newRecorder())
+	e := New(Config{DB: d, Registrar: newRecorder()})
 	boom := errors.New("boom")
 	e.Define("/p", func(ctx *Context) ([]byte, error) { return nil, boom })
 	_, err := e.Generate("/p", 1)
@@ -251,7 +251,7 @@ func TestRenderErrorWrapped(t *testing.T) {
 func TestDependOnExplicit(t *testing.T) {
 	d := testDB(t)
 	rec := newRecorder()
-	e := NewEngine(d, rec)
+	e := New(Config{DB: d, Registrar: rec})
 	e.Define("/p", func(ctx *Context) ([]byte, error) {
 		ctx.DependOn("custom:vertex")
 		return []byte("x"), nil
@@ -266,7 +266,7 @@ func TestDependOnExplicit(t *testing.T) {
 
 func TestNamesAndDefined(t *testing.T) {
 	d := testDB(t)
-	e := NewEngine(d, nil)
+	e := New(Config{DB: d})
 	e.Define("/b", func(*Context) ([]byte, error) { return nil, nil })
 	e.Define("/a", func(*Context) ([]byte, error) { return nil, nil })
 	if got := e.Names(); !reflect.DeepEqual(got, []string{"/a", "/b"}) {
@@ -279,7 +279,7 @@ func TestNamesAndDefined(t *testing.T) {
 
 func TestNilRegistrarOK(t *testing.T) {
 	d := testDB(t)
-	e := NewEngine(d, nil)
+	e := New(Config{DB: d})
 	e.Define("/p", func(ctx *Context) ([]byte, error) { return []byte("x"), nil })
 	e.Define("frag:f", func(ctx *Context) ([]byte, error) { return []byte("y"), nil })
 	if _, err := e.Generate("/p", 1); err != nil {
@@ -304,7 +304,7 @@ func TestIndexID(t *testing.T) {
 
 func TestConcurrentGenerate(t *testing.T) {
 	d := testDB(t)
-	e := NewEngine(d, newRecorder())
+	e := New(Config{DB: d, Registrar: newRecorder()})
 	e.Define("frag:f", func(ctx *Context) ([]byte, error) {
 		row, _, _ := ctx.Get("results", "ski:ev1")
 		return []byte(row.Cols["gold"]), nil
@@ -339,7 +339,7 @@ func BenchmarkGeneratePageWithFragments(b *testing.B) {
 	if _, err := d.Commit(tx); err != nil {
 		b.Fatal(err)
 	}
-	e := NewEngine(d, nil)
+	e := New(Config{DB: d})
 	e.Define("frag:medals", func(ctx *Context) ([]byte, error) {
 		rows, err := ctx.Scan("results", "")
 		if err != nil {

@@ -445,6 +445,31 @@ func (g *Graph) Affected(changed ...NodeID) []NodeID {
 	return out
 }
 
+// Partition splits a set of object vertices into *fragments* — vertices
+// other cached objects depend on (KindBoth, or any vertex with outgoing
+// edges) — and leaf *pages*. DUP's incremental planner renders the fragment
+// half of an affected set first, exactly once per batch, then rebuilds the
+// page half by assembly, splicing the fresh fragment bytes instead of
+// re-rendering them under every containing page. Unknown vertices are
+// dropped; both halves preserve the input's relative order, so feeding
+// Affected's sorted output keeps the partition deterministic.
+func (g *Graph) Partition(ids []NodeID) (fragments, pages []NodeID) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	for _, id := range ids {
+		n, ok := g.nodes[id]
+		if !ok {
+			continue
+		}
+		if n.kind == KindBoth || len(n.out) > 0 {
+			fragments = append(fragments, id)
+		} else {
+			pages = append(pages, id)
+		}
+	}
+	return fragments, pages
+}
+
 // Staleness quantifies how obsolete each affected object becomes when the
 // given underlying vertices change with the given magnitudes. It implements
 // the weighted-propagation scheme of the DUP technical report: the graph is

@@ -293,6 +293,9 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	r.site = st
+	// Incremental propagation: rebuild affected pages by splicing cached
+	// fragment bytes instead of re-rendering each fragment under every page.
+	r.engine.SetAssembler(st.Engine)
 
 	statics := st.Statics()
 	for _, tp := range topology() {

@@ -142,7 +142,7 @@ func build(spec Spec, database *db.DB, registrar fragment.Registrar, seed bool) 
 	s := &Site{
 		Spec:           spec,
 		DB:             database,
-		Engine:         fragment.NewEngine(database, registrar),
+		Engine:         fragment.New(fragment.Config{DB: database, Registrar: registrar}),
 		athleteCountry: make(map[string]string),
 	}
 	for _, t := range []string{"events", "results", "medals", "athletes", "news", "today", "photos"} {

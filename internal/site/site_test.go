@@ -26,7 +26,7 @@ func buildSite(t *testing.T, spec Spec) (*Site, *core.Engine, *cache.Cache) {
 	gen := func(key cache.Key, version int64) (*cache.Object, error) {
 		return st.Engine.Generate(key, version)
 	}
-	e := core.NewEngine(g, core.SingleCache{C: c}, core.WithGenerator(gen))
+	e := core.NewEngine(g, c, core.WithGenerator(gen))
 	var err error
 	st, err = Build(spec, d, e)
 	if err != nil {

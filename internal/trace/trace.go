@@ -91,6 +91,11 @@ type Trace struct {
 	FanOut int
 	// Updated and Invalidated count the remedies the batch applied.
 	Updated, Invalidated int
+	// FragmentRenders and FragmentReuses carry the batch's render-vs-reuse
+	// accounting from incremental assembly: fragments rendered (each
+	// changed fragment once) and cached fragment splices during page
+	// rebuilds. Zero when the engine propagated without an assembler.
+	FragmentRenders, FragmentReuses int
 }
 
 // Total returns the commit-to-push latency.
@@ -126,17 +131,20 @@ func (t Trace) MarshalJSON() ([]byte, error) {
 		stages[s.String()+"_ms"] = float64(t.StageDur(s).Microseconds()) / 1e3
 	}
 	return json.Marshal(struct {
-		ID          int64              `json:"id"`
-		LSN         int64              `json:"lsn"`
-		Commit      time.Time          `json:"commit"`
-		TotalMS     float64            `json:"total_ms"`
-		Stages      map[string]float64 `json:"stages"`
-		Vertices    int                `json:"vertices"`
-		FanOut      int                `json:"fan_out"`
-		Updated     int                `json:"updated"`
-		Invalidated int                `json:"invalidated"`
+		ID              int64              `json:"id"`
+		LSN             int64              `json:"lsn"`
+		Commit          time.Time          `json:"commit"`
+		TotalMS         float64            `json:"total_ms"`
+		Stages          map[string]float64 `json:"stages"`
+		Vertices        int                `json:"vertices"`
+		FanOut          int                `json:"fan_out"`
+		Updated         int                `json:"updated"`
+		Invalidated     int                `json:"invalidated"`
+		FragmentRenders int                `json:"fragment_renders"`
+		FragmentReuses  int                `json:"fragment_reuses"`
 	}{t.ID, t.LSN, t.Times[StageCommit], float64(t.Total().Microseconds()) / 1e3,
-		stages, t.Vertices, t.FanOut, t.Updated, t.Invalidated})
+		stages, t.Vertices, t.FanOut, t.Updated, t.Invalidated,
+		t.FragmentRenders, t.FragmentReuses})
 }
 
 // latencyBounds are the default histogram bucket bounds, in seconds, for

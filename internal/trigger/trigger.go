@@ -304,19 +304,6 @@ func (m *Monitor) Shutdown(ctx context.Context) error {
 	}
 }
 
-// Start subscribes to database's feed and begins propagating into engine.
-//
-// Deprecated: use New(Config{DB: database, Engine: engine}, opts...)
-// followed by (*Monitor).Start(ctx), which adds checkpoint replay and
-// context cancellation. Kept so existing callers compile.
-func Start(database *db.DB, engine *core.Engine, opts ...Option) *Monitor {
-	m := New(Config{DB: database, Engine: engine}, opts...)
-	if err := m.Start(context.Background()); err != nil {
-		panic(err) // unreachable: DB and Engine are non-nil, not started
-	}
-	return m
-}
-
 // loop is the monitor goroutine: replay the checkpointed log, then batch
 // and propagate the live feed.
 func (m *Monitor) loop(replay []db.Transaction) {
@@ -520,12 +507,14 @@ func (m *Monitor) propagate(batch []pendingTx) bool {
 		renderDone := clampTime(dupDone.Add(res.RenderDur), end)
 		for _, p := range batch {
 			tr := trace.Trace{
-				ID:          p.tx.TraceID,
-				LSN:         p.tx.LSN,
-				Vertices:    res.Changed,
-				FanOut:      res.Affected,
-				Updated:     res.Updated,
-				Invalidated: res.Invalidated,
+				ID:              p.tx.TraceID,
+				LSN:             p.tx.LSN,
+				Vertices:        res.Changed,
+				FanOut:          res.Affected,
+				Updated:         res.Updated,
+				Invalidated:     res.Invalidated,
+				FragmentRenders: res.FragmentRenders,
+				FragmentReuses:  res.FragmentReuses,
 			}
 			tr.Times[trace.StageCommit] = p.tx.Commit
 			tr.Times[trace.StageCDC] = p.arrived
@@ -580,12 +569,6 @@ func (m *Monitor) Flush() {
 		}
 	}
 }
-
-// Stop cancels the feed subscription and waits for the final propagation.
-// Safe to call more than once.
-//
-// Deprecated: use Shutdown, which bounds the drain with a context.
-func (m *Monitor) Stop() { _ = m.Shutdown(context.Background()) }
 
 // LastLSN returns the highest LSN the monitor has propagated — its
 // recovery checkpoint.

@@ -1,6 +1,7 @@
 package trigger
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -43,11 +44,21 @@ func newHarness(t *testing.T, opts ...Option) *harness {
 		}
 		return &cache.Object{Key: key, Value: []byte(body), Version: version}, nil
 	}
-	e := core.NewEngine(g, core.SingleCache{C: c}, core.WithGenerator(gen))
+	e := core.NewEngine(g, c, core.WithGenerator(gen))
 	h := &harness{db: d, cache: c, engine: e, renders: renders}
-	h.monitor = Start(d, e, opts...)
-	t.Cleanup(h.monitor.Stop)
+	h.monitor = startMonitor(t, d, e, opts...)
 	return h
+}
+
+// startMonitor constructs a monitor, starts it, and registers shutdown.
+func startMonitor(t testing.TB, d *db.DB, e *core.Engine, opts ...Option) *Monitor {
+	t.Helper()
+	m := New(Config{DB: d, Engine: e}, opts...)
+	if err := m.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = m.Shutdown(context.Background()) })
+	return m
 }
 
 // registerPage declares /page/<row> depending on db:results:<row> and
@@ -151,7 +162,7 @@ func TestBatchWindowTriggersPropagation(t *testing.T) {
 	t.Fatal("batch-window propagation never fired")
 }
 
-func TestStopDrainsPending(t *testing.T) {
+func TestShutdownDrainsPending(t *testing.T) {
 	h := newHarness(t, WithBatchSize(1000), WithBatchWindow(time.Hour))
 	h.registerPage(t, "ev1")
 	h.commit(t, "ev1", "7")
@@ -161,17 +172,23 @@ func TestStopDrainsPending(t *testing.T) {
 	for h.monitor.Stats().Transactions == 0 && time.Now().Before(deadline) {
 		time.Sleep(time.Millisecond)
 	}
-	h.monitor.Stop()
+	if err := h.monitor.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
 	obj, _ := h.cache.Peek("/page/ev1")
 	if string(obj.Value) != "7" {
-		t.Fatalf("pending batch lost on Stop: %q", obj.Value)
+		t.Fatalf("pending batch lost on Shutdown: %q", obj.Value)
 	}
 }
 
-func TestStopIdempotentAndFlushAfterStop(t *testing.T) {
+func TestShutdownIdempotentAndFlushAfterShutdown(t *testing.T) {
 	h := newHarness(t)
-	h.monitor.Stop()
-	h.monitor.Stop()
+	if err := h.monitor.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.monitor.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
 	h.monitor.Flush() // must not hang
 }
 
@@ -191,10 +208,9 @@ func TestCustomIndexer(t *testing.T) {
 	gen := func(key cache.Key, version int64) (*cache.Object, error) {
 		return &cache.Object{Key: key, Value: []byte("x"), Version: version}, nil
 	}
-	e := core.NewEngine(g, core.SingleCache{C: c}, core.WithGenerator(gen))
+	e := core.NewEngine(g, c, core.WithGenerator(gen))
 	e.RegisterObject("/extra", []odg.NodeID{"extra:vertex"})
-	m := Start(d, e, WithBatchWindow(0), WithIndexer(ix))
-	defer m.Stop()
+	m := startMonitor(t, d, e, WithBatchWindow(0), WithIndexer(ix))
 	if _, err := d.Commit(d.NewTx().Put("results", "k", nil)); err != nil {
 		t.Fatal(err)
 	}
@@ -225,9 +241,8 @@ func TestLatencyMeasured(t *testing.T) {
 	gen := func(key cache.Key, version int64) (*cache.Object, error) {
 		return &cache.Object{Key: key, Value: []byte("x"), Version: version}, nil
 	}
-	e := core.NewEngine(g, core.SingleCache{C: c}, core.WithGenerator(gen))
-	m := Start(d, e, WithBatchWindow(0), WithClock(clock))
-	defer m.Stop()
+	e := core.NewEngine(g, c, core.WithGenerator(gen))
+	m := startMonitor(t, d, e, WithBatchWindow(0), WithClock(clock))
 
 	if _, err := d.Commit(d.NewTx().Put("results", "k", nil)); err != nil {
 		t.Fatal(err)
@@ -377,11 +392,10 @@ func TestTraceSLOViolation(t *testing.T) {
 	gen := func(key cache.Key, version int64) (*cache.Object, error) {
 		return &cache.Object{Key: key, Value: []byte("x"), Version: version}, nil
 	}
-	e := core.NewEngine(g, core.SingleCache{C: c}, core.WithGenerator(gen))
+	e := core.NewEngine(g, c, core.WithGenerator(gen))
 	tr := trace.New(trace.WithSLO(60 * time.Second))
-	m := Start(d, e, WithTracer(tr), WithBatchWindow(0),
+	m := startMonitor(t, d, e, WithTracer(tr), WithBatchWindow(0),
 		WithClock(func() time.Time { return base.Add(70 * time.Second) }))
-	t.Cleanup(m.Stop)
 
 	e.RegisterObject("/page/ev1", []odg.NodeID{odg.NodeID(db.RowID("results", "ev1"))})
 	if _, err := d.Commit(d.NewTx().Put("results", "ev1", map[string]string{"score": "1"})); err != nil {

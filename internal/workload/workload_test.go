@@ -24,7 +24,7 @@ func testModel(t *testing.T) (*Model, *site.Site) {
 	gen := func(key cache.Key, version int64) (*cache.Object, error) {
 		return st.Engine.Generate(key, version)
 	}
-	e := core.NewEngine(g, core.SingleCache{C: c}, core.WithGenerator(gen))
+	e := core.NewEngine(g, c, core.WithGenerator(gen))
 	var err error
 	st, err = site.Build(site.DefaultSpec(), d, e)
 	if err != nil {
@@ -188,7 +188,7 @@ func TestSamplePageLanguageByRegion(t *testing.T) {
 	gen := func(key cache.Key, version int64) (*cache.Object, error) {
 		return st.Engine.Generate(key, version)
 	}
-	e := core.NewEngine(g, core.SingleCache{C: c}, core.WithGenerator(gen))
+	e := core.NewEngine(g, c, core.WithGenerator(gen))
 	spec := site.DefaultSpec()
 	spec.Languages = []string{"en", "ja"}
 	var err error
