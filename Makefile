@@ -8,10 +8,12 @@ GO ?= go
 # concurrently with sweeps, plus the serve-span/journal/flight-recorder
 # layer whose collector is written from every request goroutine, plus the
 # fragment assembler whose single-flight table and version floors are hit by
-# parallel page-assembly workers; check runs them under the race detector.
-RACE_PKGS = ./internal/stats ./internal/trace ./internal/trigger ./internal/core ./internal/cache ./internal/db ./internal/fault ./internal/deploy ./internal/overload ./internal/httpserver ./internal/audit ./internal/obs ./internal/fragment
+# parallel page-assembly workers, plus the dispatcher's probation state
+# machine and the cluster/recovery node lifecycle (warmups race fails,
+# advisor sweeps race serves); check runs them under the race detector.
+RACE_PKGS = ./internal/stats ./internal/trace ./internal/trigger ./internal/core ./internal/cache ./internal/db ./internal/fault ./internal/deploy ./internal/overload ./internal/httpserver ./internal/audit ./internal/obs ./internal/fragment ./internal/dispatch ./internal/cluster ./internal/recovery
 
-.PHONY: all build test race check chaos audit flight bench bench-overload bench-propagation run
+.PHONY: all build test race check chaos audit flight recovery bench bench-overload bench-propagation bench-recovery run
 
 all: check
 
@@ -44,6 +46,13 @@ audit:
 flight:
 	$(GO) run ./cmd/simulate -flight -seed 1
 
+# recovery runs the deterministic node-recovery scenario: kill a node,
+# commit under it, readmit it through the warmup and slow-start ramp, then
+# flap it three times and assert the quarantine grows — with zero
+# post-rejoin misses, zero LSN-floor violations, and a coherent audit.
+recovery:
+	$(GO) run ./cmd/simulate -recovery -seed 1
+
 # bench-overload records serve-path throughput, p50/p99 latency, and
 # hit/stale/shed rates at 1x, 3x, and 5x of estimated render capacity.
 bench-overload:
@@ -57,15 +66,23 @@ bench-overload:
 bench-propagation:
 	$(GO) run ./cmd/simulate -propagation-bench BENCH_propagation.json -seed 1
 
+# bench-recovery records the warm-vs-cold readmission comparison: MTTR and
+# post-rejoin hit/miss counts for a warmup-gated rejoin against an
+# empty-cache rejoin (the run fails unless warm beats cold).
+bench-recovery:
+	$(GO) run ./cmd/simulate -recovery-bench BENCH_recovery.json -seed 1
+
 # check is the tier-1 gate: everything builds, vets clean, every test
 # passes, the propagation pipeline is race-clean, the chaos tournament
-# converges, and the consistency audit proves the plant coherent.
+# converges, the consistency audit proves the plant coherent, and the
+# recovery scenario readmits a failed node without serving stale pages.
 check: build
 	$(GO) vet ./...
 	$(GO) test ./...
 	$(GO) test -race $(RACE_PKGS)
 	$(GO) run ./cmd/simulate -chaos -seed 1
 	$(GO) run ./cmd/simulate -audit -seed 1
+	$(GO) run ./cmd/simulate -recovery -seed 1
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...

@@ -55,6 +55,15 @@
 //
 //	simulate -flight -seed 1
 //
+// Recovery mode drives one node through the full recovery protocol — kill,
+// commits through the outage, warmup-gated readmission with a slow-start
+// ramp, then a flap storm asserting exponentially growing quarantines —
+// and a benchmark mode measures warm against cold readmission (MTTR and
+// the post-rejoin miss storm) as JSON:
+//
+//	simulate -recovery -seed 1
+//	simulate -recovery-bench BENCH_recovery.json
+//
 // Traffic runs at a configurable fraction of the paper's 634.7M hits
 // (default 1/1000); printed hit figures are rescaled back to paper volume
 // for side-by-side comparison.
@@ -95,6 +104,8 @@ func main() {
 	overloadMode := flag.Bool("overload", false, "run only the 5:1 overload scenario")
 	auditMode := flag.Bool("audit", false, "run only the standalone consistency audit: commit results under load, converge, and shadow-render every page of every complex")
 	flightMode := flag.Bool("flight", false, "run the flight-recorder scenario: provoke each anomaly trigger once and report the captured black-box dumps")
+	recoveryMode := flag.Bool("recovery", false, "run the node-recovery scenario: kill a node, commit through the outage, readmit it through warmup + slow-start, then flap it and assert exponential damping")
+	recoveryBench := flag.String("recovery-bench", "", "write the warm-vs-cold readmission benchmark as JSON to this file")
 	overloadBench := flag.String("overload-bench", "", "write the 1x/3x/5x overload benchmark as JSON to this file")
 	propBench := flag.String("propagation-bench", "", "write the incremental-propagation benchmark (memoized assembly vs full re-render) as JSON to this file")
 	propBursts := flag.Int("propagation-bursts", 400, "update bursts for -propagation-bench")
@@ -149,6 +160,49 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "overload benchmark written to %s\n", *overloadBench)
+		return
+	}
+
+	if *recoveryBench != "" {
+		rep, err := chaos.BenchRecovery(chaos.RecoveryBenchConfig{Seed: *seed})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "recovery-bench:", err)
+			os.Exit(1)
+		}
+		f, err := os.Create(*recoveryBench)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "recovery-bench:", err)
+			os.Exit(1)
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			fmt.Fprintln(os.Stderr, "recovery-bench:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "recovery-bench:", err)
+			os.Exit(1)
+		}
+		warm, cold := rep.Modes[0], rep.Modes[1]
+		if warm.PostRejoinMisses >= cold.PostRejoinMisses {
+			fmt.Fprintf(os.Stderr, "recovery-bench: warm misses=%d not below cold misses=%d\n",
+				warm.PostRejoinMisses, cold.PostRejoinMisses)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr,
+			"recovery benchmark written to %s (warm misses=%d cold misses=%d reduction=%.0f%%)\n",
+			*recoveryBench, warm.PostRejoinMisses, cold.PostRejoinMisses, rep.MissReductionPct)
+		return
+	}
+
+	if *recoveryMode {
+		res, err := chaos.RunRecovery(chaos.RecoveryConfig{Seed: *seed, Out: os.Stdout})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "recovery:", err)
+			os.Exit(1)
+		}
+		if !res.OK {
+			os.Exit(1)
+		}
 		return
 	}
 

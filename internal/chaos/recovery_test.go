@@ -1,0 +1,121 @@
+package chaos
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestRunRecoveryInvariants drives the recovery scenario once and checks the
+// protocol's contract: the readmitted node serves the full page set without
+// a single miss or a page older than its pre-failure floor, readmission
+// walks the hysteresis and slow-start ramp (more than one sweep), the flap
+// storm earns exponentially growing quarantines, each flap trips a flight-
+// recorder dump, and the closing audit finds the plant coherent.
+func TestRunRecoveryInvariants(t *testing.T) {
+	res, err := RunRecovery(RecoveryConfig{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK {
+		t.Fatalf("res.OK = false: %+v", res)
+	}
+	if res.PostRejoinMisses != 0 {
+		t.Errorf("post-rejoin misses = %d, want 0 (warmup must prevent the miss storm)", res.PostRejoinMisses)
+	}
+	if res.FloorViolations != 0 {
+		t.Errorf("floor violations = %d, want 0 (LSN-floor invariant)", res.FloorViolations)
+	}
+	if res.RejoinSweeps < 2 {
+		t.Errorf("rejoin sweeps = %d, want >= 2 (readmit hysteresis + slow-start ramp)", res.RejoinSweeps)
+	}
+	if len(res.Cycles) != 3 {
+		t.Fatalf("flap cycles = %d, want 3", len(res.Cycles))
+	}
+	prevQ, prevS := 0, res.RejoinSweeps
+	for i, cyc := range res.Cycles {
+		if cyc.Quarantine <= prevQ {
+			t.Errorf("cycle %d quarantine = %d, want > %d (exponential damping)", i, cyc.Quarantine, prevQ)
+		}
+		if cyc.Sweeps <= prevS {
+			t.Errorf("cycle %d sweeps = %d, want > %d", i, cyc.Sweeps, prevS)
+		}
+		prevQ, prevS = cyc.Quarantine, cyc.Sweeps
+	}
+	if res.FlapDumps != 3 {
+		t.Errorf("flap dumps = %d, want 3 (one capture per flap)", res.FlapDumps)
+	}
+	if res.Audit.Incoherent != 0 {
+		t.Errorf("audit incoherent = %d, want 0", res.Audit.Incoherent)
+	}
+}
+
+// TestRunRecoveryIsByteReproducible runs the scenario twice with the same
+// seed and requires the canonical report bytes — invariant fields plus every
+// flap dump's time-free projection — to match exactly.
+func TestRunRecoveryIsByteReproducible(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full recovery runs")
+	}
+	a, err := RunRecovery(RecoveryConfig{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunRecovery(RecoveryConfig{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.OK || !b.OK {
+		t.Fatalf("ok = %t/%t, want both true", a.OK, b.OK)
+	}
+	if !bytes.Equal(a.Canonical, b.Canonical) {
+		i := 0
+		for i < len(a.Canonical) && i < len(b.Canonical) && a.Canonical[i] == b.Canonical[i] {
+			i++
+		}
+		lo := i - 120
+		if lo < 0 {
+			lo = 0
+		}
+		hi1, hi2 := i+120, i+120
+		if hi1 > len(a.Canonical) {
+			hi1 = len(a.Canonical)
+		}
+		if hi2 > len(b.Canonical) {
+			hi2 = len(b.Canonical)
+		}
+		t.Fatalf("canonical bytes diverge at offset %d:\n run1: …%s…\n run2: …%s…",
+			i, a.Canonical[lo:hi1], b.Canonical[lo:hi2])
+	}
+}
+
+// TestBenchRecoveryWarmBeatsCold runs the readmission benchmark and checks
+// the headline: a cold rejoin misses the entire page set, a warm rejoin
+// misses nothing.
+func TestBenchRecoveryWarmBeatsCold(t *testing.T) {
+	rep, err := BenchRecovery(RecoveryBenchConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Modes) != 2 {
+		t.Fatalf("modes = %d, want 2", len(rep.Modes))
+	}
+	warm, cold := rep.Modes[0], rep.Modes[1]
+	if warm.Mode != "warm" || cold.Mode != "cold" {
+		t.Fatalf("mode order = %s/%s, want warm/cold", warm.Mode, cold.Mode)
+	}
+	if warm.PostRejoinMisses != 0 {
+		t.Errorf("warm misses = %d, want 0", warm.PostRejoinMisses)
+	}
+	if cold.PostRejoinMisses != rep.Pages {
+		t.Errorf("cold misses = %d, want %d (every page a render)", cold.PostRejoinMisses, rep.Pages)
+	}
+	if cold.PostRejoinMisses <= warm.PostRejoinMisses {
+		t.Errorf("cold misses (%d) must exceed warm misses (%d)", cold.PostRejoinMisses, warm.PostRejoinMisses)
+	}
+	if warm.PagesFromPeer == 0 {
+		t.Error("warm mode restored no pages from peers")
+	}
+	if rep.MissReductionPct != 100 {
+		t.Errorf("miss reduction = %v%%, want 100%%", rep.MissReductionPct)
+	}
+}

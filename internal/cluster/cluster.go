@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dupserve/internal/cache"
 	"dupserve/internal/core"
@@ -27,12 +28,51 @@ import (
 // ErrNodeDown is returned by a failed node.
 var ErrNodeDown = errors.New("cluster: node down")
 
+// ErrNodeWarming is returned by a node rebuilding its cache before
+// readmission: it is alive but must not serve until the warmup reaches the
+// pinned LSN floor (internal/recovery).
+var ErrNodeWarming = errors.New("cluster: node warming")
+
+// NodeState is a node's lifecycle state.
+type NodeState int32
+
+const (
+	// NodeUp: serving.
+	NodeUp NodeState = iota
+	// NodeWarming: recovering — the warmup hook is rebuilding the cache;
+	// probes fail and LoadSignal is withdrawn until it finishes.
+	NodeWarming
+	// NodeDown: failed.
+	NodeDown
+)
+
+func (s NodeState) String() string {
+	switch s {
+	case NodeUp:
+		return "up"
+	case NodeWarming:
+		return "warming"
+	default:
+		return "down"
+	}
+}
+
+// WarmupFunc rebuilds a node's serving state before readmission (see
+// internal/recovery.Warmer). It runs on its own goroutine; returning an
+// error leaves the node down.
+type WarmupFunc func() error
+
 // Node is a failable serving node.
 type Node struct {
-	name   string
-	inner  dispatch.Node
-	cache  *cache.Cache // cleared on failure (memory-resident cache)
-	downed atomic.Bool
+	name  string
+	inner dispatch.Node
+	cache *cache.Cache // cleared on failure (memory-resident cache)
+	state atomic.Int32 // NodeState
+	epoch atomic.Int64 // bumped on every Fail; in-flight warmups abandon
+
+	mu   sync.Mutex
+	warm WarmupFunc
+	hook func(name string, from, to NodeState)
 }
 
 // NewNode wraps inner with a kill switch. c may be nil when the node's
@@ -52,8 +92,11 @@ func (n *Node) Serve(path string) (*cache.Object, httpserver.Outcome, error) {
 // ServeCtx forwards the request context — and with it any serve span the
 // dispatcher minted — through the kill switch to the inner node.
 func (n *Node) ServeCtx(ctx context.Context, path string) (*cache.Object, httpserver.Outcome, error) {
-	if n.downed.Load() {
+	switch NodeState(n.state.Load()) {
+	case NodeDown:
 		return nil, httpserver.OutcomeError, fmt.Errorf("%w: %s", ErrNodeDown, n.name)
+	case NodeWarming:
+		return nil, httpserver.OutcomeError, fmt.Errorf("%w: %s", ErrNodeWarming, n.name)
 	}
 	if cs, ok := n.inner.(interface {
 		ServeCtx(context.Context, string) (*cache.Object, httpserver.Outcome, error)
@@ -63,22 +106,120 @@ func (n *Node) ServeCtx(ctx context.Context, path string) (*cache.Object, httpse
 	return n.inner.Serve(path)
 }
 
-// Fail takes the node down and discards its memory-resident cache.
-func (n *Node) Fail() {
-	if n.downed.CompareAndSwap(false, true) && n.cache != nil {
-		n.cache.Clear()
+// SetWarmup installs the recovery warmup hook: with one installed, Recover
+// enters NodeWarming and runs it asynchronously, and the node only reaches
+// NodeUp when the hook succeeds. Without one, Recover flips straight up
+// (the legacy cold rejoin).
+func (n *Node) SetWarmup(w WarmupFunc) {
+	n.mu.Lock()
+	n.warm = w
+	n.mu.Unlock()
+}
+
+// SetStateHook registers an observer of node state transitions (journal
+// wiring, cache detach on failure). The hook runs on whatever goroutine
+// caused the transition, without node locks held.
+func (n *Node) SetStateHook(fn func(name string, from, to NodeState)) {
+	n.mu.Lock()
+	n.hook = fn
+	n.mu.Unlock()
+}
+
+func (n *Node) transition(from, to NodeState) {
+	n.mu.Lock()
+	hook := n.hook
+	n.mu.Unlock()
+	if hook != nil {
+		hook(n.name, from, to)
 	}
 }
 
-// Recover brings the node back (with whatever its cache now holds — empty
-// after a Fail until the trigger monitor redistributes pages).
-func (n *Node) Recover() { n.downed.Store(false) }
+// Fail takes the node down and discards its memory-resident cache. Failing
+// again while already down (or mid-warmup) is a no-op beyond abandoning
+// any in-flight warmup.
+func (n *Node) Fail() {
+	n.epoch.Add(1)
+	for {
+		s := NodeState(n.state.Load())
+		if s == NodeDown {
+			return
+		}
+		if n.state.CompareAndSwap(int32(s), int32(NodeDown)) {
+			if n.cache != nil {
+				n.cache.Clear()
+			}
+			n.transition(s, NodeDown)
+			return
+		}
+	}
+}
+
+// Recover brings the node back. With a warmup hook installed the node
+// enters NodeWarming — probes fail, LoadSignal is withdrawn, serves error —
+// until the hook has rebuilt the cache to the pinned LSN floor; only then
+// does it report up. Without a hook it rejoins immediately with whatever
+// its cache holds (empty after a Fail until the trigger monitor
+// redistributes pages). A Fail during the warmup wins: the stale warmup's
+// result is discarded.
+func (n *Node) Recover() {
+	n.mu.Lock()
+	warm := n.warm
+	n.mu.Unlock()
+	if warm == nil {
+		for {
+			s := NodeState(n.state.Load())
+			if s == NodeUp {
+				return
+			}
+			if n.state.CompareAndSwap(int32(s), int32(NodeUp)) {
+				n.transition(s, NodeUp)
+				return
+			}
+		}
+	}
+	if !n.state.CompareAndSwap(int32(NodeDown), int32(NodeWarming)) {
+		return // already up or warming
+	}
+	n.transition(NodeDown, NodeWarming)
+	epoch := n.epoch.Load()
+	go func() {
+		err := warm()
+		if n.epoch.Load() != epoch {
+			return // failed again mid-warmup; this warmup is stale
+		}
+		if err != nil {
+			if n.state.CompareAndSwap(int32(NodeWarming), int32(NodeDown)) {
+				n.transition(NodeWarming, NodeDown)
+			}
+			return
+		}
+		if n.state.CompareAndSwap(int32(NodeWarming), int32(NodeUp)) {
+			n.transition(NodeWarming, NodeUp)
+		}
+	}()
+}
+
+// WaitReady blocks until the node reports up or the timeout elapses,
+// reporting which. Deterministic scenarios use it to sequence a rejoin.
+func (n *Node) WaitReady(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		if n.Ready() {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
 
 // LoadSignal forwards the inner node's overload signal so the dispatcher's
 // load-aware selection sees through the kill-switch wrapper. A node without
-// one (or a downed node, which must not look busy — it looks dead) reports 0.
+// one (or a node that is down or warming, which must not look busy — it
+// looks dead) reports 0.
 func (n *Node) LoadSignal() float64 {
-	if n.downed.Load() {
+	if NodeState(n.state.Load()) != NodeUp {
 		return 0
 	}
 	if ls, ok := n.inner.(interface{ LoadSignal() float64 }); ok {
@@ -87,8 +228,28 @@ func (n *Node) LoadSignal() float64 {
 	return 0
 }
 
-// Down reports whether the node is currently failed.
-func (n *Node) Down() bool { return n.downed.Load() }
+// Down reports whether the node is currently failed (warming nodes are not
+// down — they are recovering, and report neither down nor ready).
+func (n *Node) Down() bool { return NodeState(n.state.Load()) == NodeDown }
+
+// Warming reports whether a recovery warmup is in flight.
+func (n *Node) Warming() bool { return NodeState(n.state.Load()) == NodeWarming }
+
+// State returns the node's lifecycle state.
+func (n *Node) State() NodeState { return NodeState(n.state.Load()) }
+
+// Ready implements dispatch.ReadyReporter: the advisors' synthetic health
+// check. A node is ready only when it is up AND its inner server is (a
+// draining httpserver reports not-ready through the same interface).
+func (n *Node) Ready() bool {
+	if NodeState(n.state.Load()) != NodeUp {
+		return false
+	}
+	if rr, ok := n.inner.(interface{ Ready() bool }); ok {
+		return rr.Ready()
+	}
+	return true
+}
 
 // Server returns the wrapped inner node (normally the *httpserver.Server),
 // so callers can reach per-server statistics through the kill-switch.
@@ -289,16 +450,20 @@ func (c *Complex) RecoverAll() {
 	c.Advise()
 }
 
-// Advise runs one advisor sweep: nodes that are down are pulled from the
-// dispatcher, recovered nodes are restored. Returns the healthy count.
+// Advise runs one advisor sweep: nodes that are not ready (down, or
+// warming toward readmission) are pulled from the dispatcher; ready nodes
+// count one good observation toward readmission — instant under the
+// default dispatcher policy, gated by quarantine, readmit threshold, and
+// the slow-start ramp under a recovery HealthPolicy. Returns the number of
+// ready nodes.
 func (c *Complex) Advise() int {
 	healthy := 0
 	for _, n := range c.Nodes() {
-		if n.Down() {
-			c.Dispatcher.MarkDown(n.Name())
-		} else {
+		if n.Ready() {
 			c.Dispatcher.MarkUp(n.Name())
 			healthy++
+		} else {
+			c.Dispatcher.MarkDown(n.Name())
 		}
 	}
 	return healthy

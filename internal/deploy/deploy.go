@@ -45,6 +45,7 @@ import (
 	"dupserve/internal/obs"
 	"dupserve/internal/odg"
 	"dupserve/internal/overload"
+	"dupserve/internal/recovery"
 	"dupserve/internal/routing"
 	"dupserve/internal/site"
 	"dupserve/internal/stats"
@@ -136,6 +137,10 @@ type Complex struct {
 	// event journal, flight recorder — when the deployment was built
 	// WithObservability; nil otherwise.
 	Obs *obs.Suite
+	// Recovery accumulates the complex's recovery_* metrics (warmups, pages
+	// restored, replayed LSNs, readmissions, flap quarantines) when the
+	// deployment was built WithRecovery; nil otherwise.
+	Recovery *recovery.Metrics
 
 	spec ComplexSpec
 	feed *db.DB
@@ -221,6 +226,7 @@ type Deployment struct {
 	audit       bool
 	obsEnabled  bool
 	obsOpts     []obs.Option
+	recovery    *recovery.Policy
 
 	lifeMu   sync.Mutex
 	started  bool
@@ -277,6 +283,20 @@ func WithOverload(cfg overload.Config, staleBudget time.Duration) Option {
 // complex's suite.
 func WithObservability(opts ...obs.Option) Option {
 	return func(d *Deployment) { d.obsEnabled = true; d.obsOpts = opts }
+}
+
+// WithRecovery arms the node-recovery protocol on every complex. Each
+// serving node gets a recovery.Warmer: its Fail detaches the node's cache
+// from the broadcast group (a dead machine receives no pushes), and its
+// Recover rebuilds the cache to a pinned LSN floor — healthy peers' copies
+// first, floor renders as fallback, retained-log replay past the pin —
+// before the node reports ready. The complex's dispatcher runs the
+// probation state machine from p (probe hysteresis, slow-start ramp, flap
+// damping), node lifecycle lands in the journal as node/down, node/warmup,
+// node/readmitted and node/flap_quarantine events (the last trips the
+// flight recorder), and recovery_* metrics accumulate per complex.
+func WithRecovery(p recovery.Policy) Option {
+	return func(d *Deployment) { d.recovery = &p }
 }
 
 // WithAudit gives every complex a consistency auditor: served responses
@@ -525,6 +545,53 @@ func (d *Deployment) newComplex(cs ComplexSpec, cfg Config, feed *db.DB, feedNam
 			return []httpserver.Option{httpserver.WithResponseTap(auditor.Observe)}
 		})
 	}
+	var recMetrics *recovery.Metrics
+	if d.recovery != nil {
+		recMetrics = recovery.NewMetrics()
+		p := *d.recovery
+		metrics := recMetrics
+		clCfg.DispatcherOptions = append(clCfg.DispatcherOptions,
+			dispatch.WithHealthPolicy(dispatch.HealthPolicy{
+				FailThreshold:    p.FailThreshold,
+				ReadmitThreshold: p.ReadmitThreshold,
+				RampStart:        p.RampStart,
+				RampFactor:       p.RampFactor,
+				FlapWindow:       p.FlapWindow,
+				QuarantineBase:   p.QuarantineBase,
+				QuarantineMax:    p.QuarantineMax,
+			}),
+			// Probation-machine transitions feed the recovery metrics and,
+			// under observability, the journal: node/down on eviction (plus
+			// node/flap_quarantine when damping trips — a flight-recorder
+			// trigger), node/readmitted when a node re-enters the list.
+			dispatch.WithStateChange(func(ch dispatch.StateChange) {
+				switch {
+				case ch.To == dispatch.StateDown:
+					if ch.Flapped {
+						metrics.FlapQuarantines.Inc()
+					}
+					if suite != nil {
+						suite.Journal.Event(obs.LevelWarn, "node", "down",
+							"dispatcher evicted the node from the distribution list",
+							"node", ch.Node, "cause", ch.Cause)
+						if ch.Flapped {
+							suite.Journal.Event(obs.LevelError, "node", "flap_quarantine",
+								"repeated fail/recover cycles; readmission quarantined",
+								"node", ch.Node,
+								"flaps", strconv.Itoa(ch.Flaps),
+								"quarantine", strconv.Itoa(ch.Quarantine))
+						}
+					}
+				case ch.From == dispatch.StateDown:
+					metrics.Readmissions.Inc()
+					if suite != nil {
+						suite.Journal.Event(obs.LevelInfo, "node", "readmitted",
+							"node readmitted to the distribution list",
+							"node", ch.Node, "state", ch.To.String())
+					}
+				}
+			}))
+	}
 	if len(nodeOptFns) > 0 {
 		fns := nodeOptFns
 		clCfg.NodeOptions = func(name string) []httpserver.Option {
@@ -538,19 +605,102 @@ func (d *Deployment) newComplex(cs ComplexSpec, cfg Config, feed *db.DB, feedNam
 	cl := cluster.NewComplex(clCfg)
 	store.set(cl.Caches)
 
+	if d.recovery != nil {
+		p := *d.recovery
+		group := cl.Caches
+		// affectedPages maps a replayed transaction to the pages it
+		// obsoletes: index each change into the ODG and keep the affected
+		// node IDs that are pages.
+		pageSet := make(map[string]bool)
+		for _, pg := range csite.Pages() {
+			pageSet[pg] = true
+		}
+		affectedPages := func(tx db.Transaction) []string {
+			var ids []odg.NodeID
+			for _, ch := range tx.Changes {
+				ids = append(ids, csite.Indexer(ch)...)
+			}
+			var out []string
+			for _, id := range graph.Affected(ids...) {
+				if pageSet[string(id)] {
+					out = append(out, string(id))
+				}
+			}
+			return out
+		}
+		for _, node := range cl.Nodes() {
+			node := node
+			c, ok := group.Get(node.Name())
+			if !ok {
+				continue
+			}
+			warmer := recovery.New(recovery.Config{
+				Node:  node.Name(),
+				Cache: c,
+				Cold:  !p.Warm,
+				Peers: func() []*cache.Cache {
+					var out []*cache.Cache
+					for _, pc := range group.Members() {
+						if pc != c {
+							out = append(out, pc)
+						}
+					}
+					return out
+				},
+				Pages: csite.Pages,
+				Render: func(path string, version int64) (*cache.Object, error) {
+					return csite.Engine.Generate(cache.Key(path), version)
+				},
+				CurrentLSN:    replica.LSN,
+				LogSince:      replica.LogSince,
+				AffectedPages: affectedPages,
+				Attach:        func() { group.Add(c) },
+				Metrics:       recMetrics,
+			})
+			node.SetWarmup(func() error {
+				rep, err := warmer.Warm()
+				if err != nil {
+					if suite != nil {
+						suite.Journal.Event(obs.LevelError, "node", "warmup_failed",
+							err.Error(), "node", node.Name())
+					}
+					return err
+				}
+				if suite != nil {
+					suite.Journal.Event(obs.LevelInfo, "node", "warmup",
+						"cache rebuilt to the pinned LSN floor before readmission",
+						"node", rep.Node,
+						"pages", strconv.Itoa(rep.Pages),
+						"from_peer", strconv.Itoa(rep.FromPeer),
+						"rendered", strconv.Itoa(rep.Rendered),
+						"floor_lsn", strconv.FormatInt(rep.FloorLSN, 10))
+				}
+				return nil
+			})
+			// A dead machine receives no pushes: detach the cache from the
+			// broadcast group on failure. The warmup's Attach reverses it.
+			node.SetStateHook(func(name string, from, to cluster.NodeState) {
+				if to == cluster.NodeDown {
+					group.Remove(name)
+				}
+			})
+		}
+	}
+
 	cx := &Complex{
-		Name:    cs.Name,
-		Link:    feedName + "->" + cs.Name,
-		Replica: replica,
-		Graph:   graph,
-		Engine:  engine,
-		Site:    csite,
-		Cluster: cl,
-		Tracer:  tracer,
-		Auditor: auditor,
-		Obs:     suite,
-		spec:    cs,
-		feed:    feed,
+		Name:     cs.Name,
+		Link:     feedName + "->" + cs.Name,
+		Replica:  replica,
+		Graph:    graph,
+		Engine:   engine,
+		Site:     csite,
+		Cluster:  cl,
+		Tracer:   tracer,
+		Auditor:  auditor,
+		Obs:      suite,
+		Recovery: recMetrics,
+		spec:     cs,
+		feed:     feed,
 	}
 	return cx, nil
 }
@@ -725,6 +875,9 @@ func (d *Deployment) RegisterMetrics(reg *stats.Registry) {
 		}
 		if cx.Obs != nil {
 			cx.Obs.RegisterMetrics(reg, stats.Labels{"complex": name})
+		}
+		if cx.Recovery != nil {
+			cx.Recovery.Register(reg, stats.Labels{"complex": name})
 		}
 	}
 }

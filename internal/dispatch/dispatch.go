@@ -51,13 +51,24 @@ type ctxServer interface {
 // counts. httpserver.Server and nested Dispatchers both implement it.
 type loadSignaler interface{ LoadSignal() float64 }
 
-// Probe reports whether a node is healthy. The default probe serves a
-// synthetic request and treats any non-error outcome as healthy.
+// Probe reports whether a node is healthy. The default probe asks the node
+// directly when it can, and otherwise serves a synthetic request.
 type Probe func(Node) bool
 
-// DefaultProbe issues a HEAD-like request for "/" and accepts any outcome
-// except an error.
+// ReadyReporter is the optional interface through which a node exposes a
+// synthetic health check. Probing through it keeps advisor sweeps out of
+// the serve path entirely: no served/hit counters move and no serve spans
+// are minted on behalf of a probe. httpserver.Server, cluster.Node and
+// Dispatcher itself implement it.
+type ReadyReporter interface{ Ready() bool }
+
+// DefaultProbe asks the node's synthetic health check when it implements
+// ReadyReporter; only nodes without one fall back to serving "/" (where any
+// outcome except an error counts as healthy).
 func DefaultProbe(n Node) bool {
+	if rr, ok := n.(ReadyReporter); ok {
+		return rr.Ready()
+	}
 	_, outcome, _ := n.Serve("/")
 	return outcome != httpserver.OutcomeError
 }
@@ -65,15 +76,126 @@ func DefaultProbe(n Node) bool {
 // ErrNoBackends is returned when every node in the pool is down.
 var ErrNoBackends = errors.New("dispatch: no healthy backends")
 
+// MemberState is a pool member's position in the probation state machine.
+type MemberState uint8
+
+const (
+	// StateUp: full member of the distribution list at its configured weight.
+	StateUp MemberState = iota
+	// StateProbation: readmitted but ramping — the member takes only a
+	// fraction of the traffic an equally loaded up member would, and the
+	// fraction grows with each good probe observation until it reaches full
+	// weight.
+	StateProbation
+	// StateDown: out of the distribution list.
+	StateDown
+)
+
+func (s MemberState) String() string {
+	switch s {
+	case StateUp:
+		return "up"
+	case StateProbation:
+		return "probation"
+	default:
+		return "down"
+	}
+}
+
+// HealthPolicy tunes the probation state machine. The zero value (after
+// normalization) reproduces the dispatcher's historical behaviour exactly:
+// one bad observation evicts, one good observation readmits at full weight,
+// and no flap damping — the paper's instant-eviction advisors.
+type HealthPolicy struct {
+	// FailThreshold is how many consecutive bad probe observations evict an
+	// up or probationary member (default 1). Serving failures and explicit
+	// MarkDown calls evict immediately regardless — a request that died on
+	// the node is certainty, not probe noise.
+	FailThreshold int
+	// ReadmitThreshold is how many consecutive good observations a down
+	// member needs before readmission begins (default 1).
+	ReadmitThreshold int
+	// RampStart is the traffic share a freshly readmitted member starts at,
+	// in (0,1]. 1 (the default) disables the ramp: readmission goes straight
+	// to full weight.
+	RampStart float64
+	// RampFactor multiplies the share on each further good observation until
+	// it reaches 1 (default 2: exponential slow-start).
+	RampFactor float64
+	// FlapWindow arms flap damping when positive: a member evicted again
+	// within this many good observations of its last readmission counts as a
+	// flapping node and earns a quarantine.
+	FlapWindow int
+	// QuarantineBase is the number of good observations ignored before the
+	// first flap's readmission may begin; each further flap doubles it.
+	QuarantineBase int
+	// QuarantineMax caps the quarantine growth (default: QuarantineBase<<4).
+	QuarantineMax int
+}
+
+func (p HealthPolicy) normalized() HealthPolicy {
+	if p.FailThreshold < 1 {
+		p.FailThreshold = 1
+	}
+	if p.ReadmitThreshold < 1 {
+		p.ReadmitThreshold = 1
+	}
+	if p.RampStart <= 0 || p.RampStart > 1 {
+		p.RampStart = 1
+	}
+	if p.RampFactor <= 1 {
+		p.RampFactor = 2
+	}
+	if p.FlapWindow < 0 {
+		p.FlapWindow = 0
+	}
+	if p.QuarantineBase < 0 {
+		p.QuarantineBase = 0
+	}
+	if p.QuarantineMax < p.QuarantineBase {
+		p.QuarantineMax = p.QuarantineBase << 4
+	}
+	return p
+}
+
+// StateChange describes one probation-machine transition, delivered to the
+// WithStateChange hook after the dispatcher's lock is released.
+type StateChange struct {
+	Node     string
+	From, To MemberState
+	// Cause: "probe" (advisor observation), "advisor" (explicit
+	// MarkDown/MarkUp), or "serve_failure" (a request died on the node).
+	Cause string
+	// Flapped is true when this eviction counted as a flap and earned (or
+	// grew) a quarantine.
+	Flapped bool
+	// Flaps and Quarantine are the member's flap count and pending
+	// quarantine after the change.
+	Flaps      int
+	Quarantine int
+}
+
 type member struct {
 	node        Node
 	weight      int // capacity multiplier (the ND weighted SMPs above UPs)
 	outstanding int
-	up          bool
+	state       MemberState
 	served      int64
 	failures    int64
 	sheds       int64 // requests this node refused under overload
+
+	// Probation state machine (see HealthPolicy).
+	failStreak int     // consecutive bad observations while up/probation
+	okStreak   int     // consecutive good observations while down
+	ramp       float64 // traffic share in probation, (0,1]
+	credit     float64 // slow-start token bucket, accrued per pick
+	goodRun    int     // good observations since the last readmission
+	readmits   int     // times this member has been readmitted
+	flaps      int     // flap count (cleared by a clean run past FlapWindow)
+	quarantine int     // good observations still ignored before readmission
 }
+
+func (m *member) inList() bool { return m.state != StateDown }
 
 // load is the member's normalized queue depth: outstanding work divided by
 // capacity. A weight-4 node with 4 requests in flight is as "busy" as a
@@ -102,6 +224,8 @@ type Dispatcher struct {
 	maxRetries    int
 	probeInterval time.Duration
 	observer      *obs.Collector // mints serve spans; nil without WithObserver
+	policy        HealthPolicy
+	onChange      func(StateChange) // fired outside the lock; nil without WithStateChange
 
 	mu      sync.Mutex
 	members []*member
@@ -112,6 +236,9 @@ type Dispatcher struct {
 	failovers     stats.Counter
 	shedFailovers stats.Counter
 	rejected      stats.Counter
+	evictions     stats.Counter
+	readmissions  stats.Counter
+	flapsTotal    stats.Counter
 
 	stopOnce sync.Once
 	stopCh   chan struct{}
@@ -140,6 +267,19 @@ func WithObserver(col *obs.Collector) Option {
 	return func(d *Dispatcher) { d.observer = col }
 }
 
+// WithHealthPolicy replaces the default (legacy instant-eviction,
+// instant-readmission) probation policy.
+func WithHealthPolicy(p HealthPolicy) Option {
+	return func(d *Dispatcher) { d.policy = p.normalized() }
+}
+
+// WithStateChange registers a hook observing every probation-machine
+// transition. The hook runs after the dispatcher releases its lock, so it
+// may call back into the dispatcher (and may journal, capture dumps, etc.).
+func WithStateChange(fn func(StateChange)) Option {
+	return func(d *Dispatcher) { d.onChange = fn }
+}
+
 // Config describes a Dispatcher.
 type Config struct {
 	// Name appears in diagnostics and error messages.
@@ -161,13 +301,14 @@ func New(cfg Config, opts ...Option) *Dispatcher {
 		probe:         DefaultProbe,
 		maxRetries:    -1,
 		probeInterval: cfg.ProbeInterval,
+		policy:        HealthPolicy{}.normalized(),
 		stopCh:        make(chan struct{}),
 	}
 	for _, o := range opts {
 		o(d)
 	}
 	for _, n := range cfg.Nodes {
-		d.members = append(d.members, &member{node: n, weight: 1, up: true})
+		d.members = append(d.members, &member{node: n, weight: 1, state: StateUp})
 	}
 	return d
 }
@@ -224,7 +365,7 @@ func (d *Dispatcher) AddWeighted(n Node, weight int) {
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	d.members = append(d.members, &member{node: n, weight: weight, up: true})
+	d.members = append(d.members, &member{node: n, weight: weight, state: StateUp})
 }
 
 // Remove deletes a node from the pool by name, reporting whether it was
@@ -242,31 +383,163 @@ func (d *Dispatcher) Remove(name string) bool {
 }
 
 // MarkDown pulls a node from the distribution list without removing it.
-func (d *Dispatcher) MarkDown(name string) bool { return d.setUp(name, false) }
-
-// MarkUp returns a node to the distribution list.
-func (d *Dispatcher) MarkUp(name string) bool { return d.setUp(name, true) }
-
-func (d *Dispatcher) setUp(name string, up bool) bool {
+// An explicit mark-down is external certainty (the cluster's advisor saw
+// the node die), so it evicts immediately regardless of FailThreshold.
+func (d *Dispatcher) MarkDown(name string) bool {
 	d.mu.Lock()
-	defer d.mu.Unlock()
+	var changes []StateChange
+	found := false
 	for _, m := range d.members {
 		if m.node.Name() == name {
-			m.up = up
-			return true
+			found = true
+			changes = d.evictLocked(m, "advisor", changes)
 		}
 	}
-	return false
+	d.mu.Unlock()
+	d.fire(changes)
+	return found
 }
 
-// Healthy returns the names of nodes currently in the distribution list,
-// sorted.
+// MarkUp counts one good advisor observation for the node. Under the
+// default policy that readmits it to full weight immediately; under a
+// stricter HealthPolicy it works through quarantine, the readmit threshold,
+// and the slow-start ramp like any good probe observation.
+func (d *Dispatcher) MarkUp(name string) bool {
+	d.mu.Lock()
+	var changes []StateChange
+	found := false
+	for _, m := range d.members {
+		if m.node.Name() == name {
+			found = true
+			changes = d.observeGoodLocked(m, "advisor", changes)
+		}
+	}
+	d.mu.Unlock()
+	d.fire(changes)
+	return found
+}
+
+// evictLocked transitions m to StateDown, applying flap damping. Caller
+// holds d.mu; returned changes must be fired after unlock.
+func (d *Dispatcher) evictLocked(m *member, cause string, changes []StateChange) []StateChange {
+	if m.state == StateDown {
+		return changes
+	}
+	from := m.state
+	m.state = StateDown
+	m.failStreak = 0
+	m.okStreak = 0
+	m.credit = 0
+	d.evictions.Inc()
+	flapped := false
+	p := d.policy
+	if p.FlapWindow > 0 && m.readmits > 0 && (from == StateProbation || m.goodRun <= p.FlapWindow) {
+		// The node died again before proving itself: exponentially longer
+		// quarantine per flap.
+		flapped = true
+		m.flaps++
+		d.flapsTotal.Inc()
+		q := p.QuarantineBase
+		for i := 1; i < m.flaps && q < p.QuarantineMax; i++ {
+			q <<= 1
+		}
+		if q > p.QuarantineMax {
+			q = p.QuarantineMax
+		}
+		m.quarantine = q
+	}
+	m.goodRun = 0
+	return append(changes, StateChange{
+		Node: m.node.Name(), From: from, To: StateDown, Cause: cause,
+		Flapped: flapped, Flaps: m.flaps, Quarantine: m.quarantine,
+	})
+}
+
+// observeGoodLocked counts one good observation for m: quarantine drains
+// first, then the readmit threshold, then the slow-start ramp. Caller holds
+// d.mu; returned changes must be fired after unlock.
+func (d *Dispatcher) observeGoodLocked(m *member, cause string, changes []StateChange) []StateChange {
+	p := d.policy
+	m.failStreak = 0
+	switch m.state {
+	case StateDown:
+		if m.quarantine > 0 {
+			m.quarantine--
+			return changes
+		}
+		m.okStreak++
+		if m.okStreak < p.ReadmitThreshold {
+			return changes
+		}
+		m.okStreak = 0
+		m.readmits++
+		m.goodRun = 0
+		m.ramp = p.RampStart
+		m.credit = 0
+		to := StateProbation
+		if m.ramp >= 1 {
+			to = StateUp
+		}
+		m.state = to
+		d.readmissions.Inc()
+		return append(changes, StateChange{
+			Node: m.node.Name(), From: StateDown, To: to, Cause: cause,
+			Flaps: m.flaps, Quarantine: m.quarantine,
+		})
+	case StateProbation:
+		m.goodRun++
+		m.ramp *= p.RampFactor
+		if m.ramp >= 1 {
+			m.ramp = 1
+			m.state = StateUp
+			return append(changes, StateChange{
+				Node: m.node.Name(), From: StateProbation, To: StateUp, Cause: cause,
+				Flaps: m.flaps, Quarantine: m.quarantine,
+			})
+		}
+		return changes
+	default: // StateUp
+		m.goodRun++
+		if p.FlapWindow > 0 && m.goodRun > p.FlapWindow {
+			// A clean run past the flap window forgives the history.
+			m.flaps = 0
+		}
+		return changes
+	}
+}
+
+// observeBadLocked counts one bad probe observation, evicting once the
+// failure streak crosses the threshold.
+func (d *Dispatcher) observeBadLocked(m *member, cause string, changes []StateChange) []StateChange {
+	if m.state == StateDown {
+		m.okStreak = 0
+		return changes
+	}
+	m.failStreak++
+	if m.failStreak < d.policy.FailThreshold {
+		return changes
+	}
+	return d.evictLocked(m, cause, changes)
+}
+
+// fire delivers state changes to the hook outside the lock.
+func (d *Dispatcher) fire(changes []StateChange) {
+	if d.onChange == nil {
+		return
+	}
+	for _, ch := range changes {
+		d.onChange(ch)
+	}
+}
+
+// Healthy returns the names of nodes currently in the distribution list
+// (up or in probation), sorted.
 func (d *Dispatcher) Healthy() []string {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	var out []string
 	for _, m := range d.members {
-		if m.up {
+		if m.inList() {
 			out = append(out, m.node.Name())
 		}
 	}
@@ -280,16 +553,38 @@ func (d *Dispatcher) HealthyCount() int {
 	defer d.mu.Unlock()
 	n := 0
 	for _, m := range d.members {
-		if m.up {
+		if m.inList() {
 			n++
 		}
 	}
 	return n
 }
 
+// Ready implements ReadyReporter for nested dispatchers: a pool with at
+// least one member in the distribution list can serve.
+func (d *Dispatcher) Ready() bool { return d.HealthyCount() > 0 }
+
+// MemberState returns the probation state of the named member.
+func (d *Dispatcher) MemberState(name string) (MemberState, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, m := range d.members {
+		if m.node.Name() == name {
+			return m.state, true
+		}
+	}
+	return StateDown, false
+}
+
 // pick selects the healthy node with the fewest outstanding requests,
 // breaking ties round-robin, and accounts an outstanding request against
 // it. exclude lists members already tried for this request.
+//
+// Probationary members are slow-started through a token bucket: each pick
+// accrues `ramp` credit, and the member is only eligible once a full credit
+// has accumulated (spent on selection). A member ramping at 1/4 therefore
+// takes roughly a quarter of the traffic an idle up member would, growing
+// exponentially as good probe observations multiply the ramp.
 func (d *Dispatcher) pick(exclude map[*member]bool) *member {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -300,15 +595,45 @@ func (d *Dispatcher) pick(exclude map[*member]bool) *member {
 	}
 	for i := 0; i < n; i++ {
 		m := d.members[(d.rr+i)%n]
-		if !m.up || exclude[m] {
+		if !m.inList() || exclude[m] {
 			continue
+		}
+		if m.state == StateProbation {
+			m.credit += m.ramp
+			if m.credit > 2 {
+				m.credit = 2
+			}
+			if m.credit < 1 {
+				continue
+			}
 		}
 		if best == nil || m.score() < best.score() {
 			best = m
 		}
 	}
 	if best == nil {
+		// No member passed the credit gate. A pool of only probationary
+		// members must still serve: retry ignoring the gate rather than
+		// black-holing the request.
+		for i := 0; i < n; i++ {
+			m := d.members[(d.rr+i)%n]
+			if !m.inList() || exclude[m] {
+				continue
+			}
+			if best == nil || m.score() < best.score() {
+				best = m
+			}
+		}
+	}
+	if best == nil {
 		return nil
+	}
+	if best.state == StateProbation {
+		if best.credit > 1 {
+			best.credit--
+		} else {
+			best.credit = 0
+		}
 	}
 	d.rr = (d.rr + 1) % n
 	best.outstanding++
@@ -317,14 +642,18 @@ func (d *Dispatcher) pick(exclude map[*member]bool) *member {
 
 func (d *Dispatcher) release(m *member, failed bool) {
 	d.mu.Lock()
-	defer d.mu.Unlock()
+	var changes []StateChange
 	m.outstanding--
 	if failed {
 		m.failures++
-		m.up = false // advisor semantics: serving failure pulls the node
+		// Advisor semantics: a serving failure pulls the node immediately —
+		// a dead request is certainty, not probe noise.
+		changes = d.evictLocked(m, "serve_failure", changes)
 	} else {
 		m.served++
 	}
+	d.mu.Unlock()
+	d.fire(changes)
 }
 
 // releaseShed accounts a refusal under overload. Crucially the node stays
@@ -443,7 +772,7 @@ func (d *Dispatcher) LoadSignal() float64 {
 	var sum float64
 	n := 0
 	for _, m := range d.members {
-		if !m.up {
+		if !m.inList() {
 			continue
 		}
 		sum += m.score()
@@ -455,26 +784,33 @@ func (d *Dispatcher) LoadSignal() float64 {
 	return sum / float64(n)
 }
 
-// CheckNow runs one advisor sweep synchronously: every node is probed, and
-// its distribution-list membership set accordingly. Returns the number of
-// healthy nodes. The simulation calls this on its own clock; live servers
-// use StartAdvisors.
+// CheckNow runs one advisor sweep synchronously: every node is probed and
+// the observation fed through the probation state machine (hysteresis,
+// quarantine, slow-start ramp). Returns the number of nodes left in the
+// distribution list. The simulation calls this on its own clock; live
+// servers use StartAdvisors.
 func (d *Dispatcher) CheckNow() int {
 	d.mu.Lock()
 	nodes := make([]*member, len(d.members))
 	copy(nodes, d.members)
 	d.mu.Unlock()
 
+	var changes []StateChange
 	healthy := 0
 	for _, m := range nodes {
 		ok := d.probe(m.node)
 		d.mu.Lock()
-		m.up = ok
-		d.mu.Unlock()
 		if ok {
+			changes = d.observeGoodLocked(m, "probe", changes)
+		} else {
+			changes = d.observeBadLocked(m, "probe", changes)
+		}
+		if m.inList() {
 			healthy++
 		}
+		d.mu.Unlock()
 	}
+	d.fire(changes)
 	return healthy
 }
 
@@ -506,8 +842,11 @@ func (d *Dispatcher) stop() {
 
 // NodeStats describes one pool member.
 type NodeStats struct {
-	Name        string
-	Up          bool
+	Name string
+	// Up reports distribution-list membership (up or probation).
+	Up bool
+	// State is the probation-machine state ("up", "probation", "down").
+	State       string
 	Weight      int
 	Outstanding int
 	Served      int64
@@ -518,6 +857,11 @@ type NodeStats struct {
 	// Load is the member's current selection score: dispatcher queue depth
 	// plus the node's own overload signal.
 	Load float64
+	// Ramp is the slow-start traffic share while in probation (1 otherwise).
+	Ramp float64
+	// Flaps and Quarantine describe flap-damping state.
+	Flaps      int
+	Quarantine int
 }
 
 // DispatcherStats snapshots the dispatcher.
@@ -528,7 +872,11 @@ type DispatcherStats struct {
 	// not pulled from the pool).
 	ShedFailovers int64
 	Rejected      int64
-	Nodes         []NodeStats
+	// Evictions/Readmissions/Flaps count probation-machine transitions.
+	Evictions    int64
+	Readmissions int64
+	Flaps        int64
+	Nodes        []NodeStats
 }
 
 // RegisterMetrics publishes the dispatcher's counters and pool health into
@@ -545,8 +893,27 @@ func (d *Dispatcher) RegisterMetrics(reg *stats.Registry, labels stats.Labels) {
 	reg.RegisterCounter("dispatch_rejected_total",
 		"requests rejected with no healthy member", labels, &d.rejected)
 	reg.RegisterFunc("dispatch_healthy_nodes",
-		"pool members currently marked up", labels,
+		"pool members currently in the distribution list", labels,
 		func() float64 { return float64(d.HealthyCount()) })
+	reg.RegisterCounter("dispatch_evictions_total",
+		"pool members evicted from the distribution list", labels, &d.evictions)
+	reg.RegisterCounter("dispatch_readmissions_total",
+		"pool members readmitted after eviction", labels, &d.readmissions)
+	reg.RegisterCounter("dispatch_flaps_total",
+		"evictions that counted as flaps and earned a quarantine", labels, &d.flapsTotal)
+	reg.RegisterFunc("dispatch_probation_nodes",
+		"pool members currently in the slow-start probation state", labels,
+		func() float64 {
+			d.mu.Lock()
+			defer d.mu.Unlock()
+			n := 0
+			for _, m := range d.members {
+				if m.state == StateProbation {
+					n++
+				}
+			}
+			return float64(n)
+		})
 }
 
 // Stats returns a snapshot of pool state and counters.
@@ -554,15 +921,23 @@ func (d *Dispatcher) Stats() DispatcherStats {
 	d.mu.Lock()
 	nodes := make([]NodeStats, 0, len(d.members))
 	for _, m := range d.members {
+		ramp := 1.0
+		if m.state == StateProbation {
+			ramp = m.ramp
+		}
 		nodes = append(nodes, NodeStats{
 			Name:        m.node.Name(),
-			Up:          m.up,
+			Up:          m.inList(),
+			State:       m.state.String(),
 			Weight:      m.weight,
 			Outstanding: m.outstanding,
 			Served:      m.served,
 			Failures:    m.failures,
 			Sheds:       m.sheds,
 			Load:        m.score(),
+			Ramp:        ramp,
+			Flaps:       m.flaps,
+			Quarantine:  m.quarantine,
 		})
 	}
 	d.mu.Unlock()
@@ -572,6 +947,9 @@ func (d *Dispatcher) Stats() DispatcherStats {
 		Failovers:     d.failovers.Value(),
 		ShedFailovers: d.shedFailovers.Value(),
 		Rejected:      d.rejected.Value(),
+		Evictions:     d.evictions.Value(),
+		Readmissions:  d.readmissions.Value(),
+		Flaps:         d.flapsTotal.Value(),
 		Nodes:         nodes,
 	}
 }

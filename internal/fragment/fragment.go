@@ -168,14 +168,6 @@ func New(cfg Config, opts ...Option) *Engine {
 	return e
 }
 
-// NewEngine returns an engine reading from database and reporting
-// dependency registrations to registrar.
-//
-// Deprecated: use New(Config{DB: database, Registrar: registrar}, opts...).
-func NewEngine(database *db.DB, registrar Registrar, opts ...Option) *Engine {
-	return New(Config{DB: database, Registrar: registrar}, opts...)
-}
-
 // SetFullReRender toggles the full-re-render baseline mode at runtime (see
 // WithFullReRender). Benchmarks flip it on a site-built engine whose
 // construction they do not control.

@@ -286,6 +286,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // Draining reports whether the node is refusing new work.
 func (s *Server) Draining() bool { return s.draining.Load() }
 
+// Ready is the synthetic health check dispatch advisors probe
+// (dispatch.ReadyReporter): true unless the node is draining. Probing here
+// instead of through Serve keeps advisor sweeps out of the request
+// counters and span stream.
+func (s *Server) Ready() bool { return !s.draining.Load() }
+
 // Limiter returns the node's admission controller (nil without
 // WithOverload).
 func (s *Server) Limiter() *overload.Limiter { return s.limiter }

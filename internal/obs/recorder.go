@@ -105,6 +105,7 @@ const (
 	TriggerSLOViolation = "trace/slo_violation"
 	TriggerShedStart    = "overload/shed_start"
 	TriggerIncoherent   = "audit/incoherent"
+	TriggerFlapDamping  = "node/flap_quarantine"
 )
 
 // dumpDepth bounds how much recent context one dump carries from each
@@ -147,6 +148,7 @@ func newRecorder(cfg config, col *Collector, j *Journal) *Recorder {
 			TriggerSLOViolation: true,
 			TriggerShedStart:    true,
 			TriggerIncoherent:   true,
+			TriggerFlapDamping:  true,
 		},
 		shedBurst: cfg.shedBurst,
 		dumps:     make([]Dump, cfg.dumpRing),
