@@ -10,10 +10,12 @@ GO ?= go
 # fragment assembler whose single-flight table and version floors are hit by
 # parallel page-assembly workers, plus the dispatcher's probation state
 # machine and the cluster/recovery node lifecycle (warmups race fails,
-# advisor sweeps race serves); check runs them under the race detector.
-RACE_PKGS = ./internal/stats ./internal/trace ./internal/trigger ./internal/core ./internal/cache ./internal/db ./internal/fault ./internal/deploy ./internal/overload ./internal/httpserver ./internal/audit ./internal/obs ./internal/fragment ./internal/dispatch ./internal/cluster ./internal/recovery
+# advisor sweeps race serves), plus the wire transport whose pooled client
+# demultiplexes concurrent RPCs against reconnects and partition drops;
+# check runs them under the race detector.
+RACE_PKGS = ./internal/stats ./internal/trace ./internal/trigger ./internal/core ./internal/cache ./internal/db ./internal/fault ./internal/deploy ./internal/overload ./internal/httpserver ./internal/audit ./internal/obs ./internal/fragment ./internal/dispatch ./internal/cluster ./internal/recovery ./internal/wire
 
-.PHONY: all build test race check chaos audit flight recovery bench bench-overload bench-propagation bench-recovery run
+.PHONY: all build test race check chaos audit flight recovery smoke bench bench-overload bench-propagation bench-recovery bench-wire run
 
 all: check
 
@@ -53,6 +55,14 @@ flight:
 recovery:
 	$(GO) run ./cmd/simulate -recovery -seed 1
 
+# smoke runs the multi-process deployment end to end on loopback: the
+# olympicsd binary re-executes itself as two serving-node processes, the
+# parent runs the master plane against them over TCP (log shipping, page
+# pushes, remote serves), commits a result, and asserts the updated page
+# is a cache hit with fresh bytes on every node.
+smoke:
+	$(GO) run ./cmd/olympicsd -role smoke -nodes 2
+
 # bench-overload records serve-path throughput, p50/p99 latency, and
 # hit/stale/shed rates at 1x, 3x, and 5x of estimated render capacity.
 bench-overload:
@@ -72,10 +82,18 @@ bench-propagation:
 bench-recovery:
 	$(GO) run ./cmd/simulate -recovery-bench BENCH_recovery.json -seed 1
 
+# bench-wire records the framed TCP transport's loopback figures: page-push
+# throughput through the pooled, pipelined client and the RPC latency
+# p50/p99 (the run fails on any call error or reconnect — loopback must be
+# clean).
+bench-wire:
+	$(GO) run ./cmd/simulate -wire-bench BENCH_wire.json -seed 1
+
 # check is the tier-1 gate: everything builds, vets clean, every test
 # passes, the propagation pipeline is race-clean, the chaos tournament
-# converges, the consistency audit proves the plant coherent, and the
-# recovery scenario readmits a failed node without serving stale pages.
+# converges, the consistency audit proves the plant coherent, the recovery
+# scenario readmits a failed node without serving stale pages, and the
+# multi-process smoke proves the wire path against real child processes.
 check: build
 	$(GO) vet ./...
 	$(GO) test ./...
@@ -83,6 +101,7 @@ check: build
 	$(GO) run ./cmd/simulate -chaos -seed 1
 	$(GO) run ./cmd/simulate -audit -seed 1
 	$(GO) run ./cmd/simulate -recovery -seed 1
+	$(GO) run ./cmd/olympicsd -role smoke -nodes 2
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...

@@ -23,6 +23,7 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -34,6 +35,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/exec"
 	"strconv"
 	"strings"
 	"sync"
@@ -47,6 +49,7 @@ import (
 	"dupserve/internal/dispatch"
 	"dupserve/internal/fragment"
 	"dupserve/internal/httpserver"
+	"dupserve/internal/netsim"
 	"dupserve/internal/obs"
 	"dupserve/internal/odg"
 	"dupserve/internal/site"
@@ -54,6 +57,7 @@ import (
 	"dupserve/internal/trace"
 	"dupserve/internal/trigger"
 	"dupserve/internal/weblog"
+	"dupserve/internal/wire"
 )
 
 // syncBuffer is a mutex-guarded byte buffer the access log writes to and
@@ -75,16 +79,80 @@ func (b *syncBuffer) reader() io.Reader {
 	return bytes.NewReader(append([]byte(nil), b.buf.Bytes()...))
 }
 
+// flags carries every command-line option across the role entry points.
+type flags struct {
+	addr      string
+	tick      time.Duration
+	nodes     int
+	seed      int64
+	paper     bool
+	accessLog string
+	slo       time.Duration
+	traceRing int
+	name      string
+	wireAddr  string
+	peers     string
+	wan       string
+	days      int
+}
+
 func main() {
-	addr := flag.String("addr", ":8098", "listen address")
-	tick := flag.Duration("tick", 2*time.Second, "interval between live updates")
-	nodes := flag.Int("nodes", 4, "serving nodes behind the dispatcher")
-	seed := flag.Int64("seed", 1998, "random seed for the games feed")
-	paper := flag.Bool("paper", false, "build the full paper-scale site (~17.5k pages)")
-	accessLog := flag.String("accesslog", "", "also write the access log to this file (CLF)")
-	slo := flag.Duration("slo", 60*time.Second, "freshness SLO (the paper's sixty-second guarantee)")
-	traceRing := flag.Int("traces", 256, "recent propagation traces retained for /debug/traces")
+	role := flag.String("role", "all",
+		"process role: all (single process), node (serving node), master|complex (propagation plane), smoke (self-exec loopback deployment)")
+	var f flags
+	flag.StringVar(&f.addr, "addr", ":8098", "HTTP listen address (empty disables HTTP in node role)")
+	flag.DurationVar(&f.tick, "tick", 2*time.Second, "interval between live updates")
+	flag.IntVar(&f.nodes, "nodes", 4, "serving nodes behind the dispatcher (all and smoke roles)")
+	flag.Int64Var(&f.seed, "seed", 1998, "random seed for the games feed")
+	flag.BoolVar(&f.paper, "paper", false, "build the full paper-scale site (~17.5k pages)")
+	flag.StringVar(&f.accessLog, "accesslog", "", "also write the access log to this file (CLF)")
+	flag.DurationVar(&f.slo, "slo", 60*time.Second, "freshness SLO (the paper's sixty-second guarantee)")
+	flag.IntVar(&f.traceRing, "traces", 256, "recent propagation traces retained for /debug/traces")
+	flag.StringVar(&f.name, "name", "node", "this process's name (node role)")
+	flag.StringVar(&f.wireAddr, "wire-addr", "127.0.0.1:0", "wire transport listen address (node role)")
+	flag.StringVar(&f.peers, "peers", "", "comma-separated node wire addresses (master role)")
+	flag.StringVar(&f.wan, "wan", "", `shape the wire like a link: "" none, "lan", "modem" (master role)`)
+	flag.IntVar(&f.days, "days", 0, "override the site's day count (0 keeps the spec default)")
 	flag.Parse()
+
+	switch *role {
+	case "all":
+		runAll(f)
+	case "node":
+		runNode(f)
+	case "master", "complex":
+		runMaster(f)
+	case "smoke":
+		runSmoke(f)
+	default:
+		log.Fatalf("unknown -role %q (want all, node, master, or smoke)", *role)
+	}
+}
+
+// multiSpec is the site specification shared by every process of one
+// deployment: master and nodes must build identical renderer sets or the
+// nodes' miss-path renders would diverge from the pushed pages.
+func multiSpec(f flags) site.Spec {
+	if f.paper {
+		return site.PaperSpec()
+	}
+	spec := site.DefaultSpec()
+	spec.Days = 16
+	spec.Languages = []string{"en", "ja"}
+	if f.days > 0 {
+		spec.Days = f.days
+	}
+	return spec
+}
+
+func runAll(f flags) {
+	addr := &f.addr
+	tick := &f.tick
+	nodes := &f.nodes
+	seed := &f.seed
+	accessLog := &f.accessLog
+	slo := &f.slo
+	traceRing := &f.traceRing
 
 	// Observability substrate: one registry every subsystem publishes
 	// into, and a tracer following each transaction commit -> push.
@@ -117,12 +185,7 @@ func main() {
 	}
 	engine := core.NewEngine(graph, group, core.WithGenerator(gen))
 
-	spec := site.DefaultSpec()
-	spec.Days = 16
-	spec.Languages = []string{"en", "ja"}
-	if *paper {
-		spec = site.PaperSpec()
-	}
+	spec := multiSpec(f)
 	var err error
 	st, err = site.Build(spec, master, engine)
 	if err != nil {
@@ -413,6 +476,372 @@ func main() {
 
 	log.Printf("olympicsd listening on %s (%d pages, %d nodes)", *addr, len(st.Pages()), *nodes)
 	log.Fatal(http.ListenAndServe(*addr, mux))
+}
+
+// wireShaper maps the -wan flag to a frame shaper (nil = unshaped).
+func wireShaper(wan string) func(int) time.Duration {
+	switch wan {
+	case "":
+		return nil
+	case "lan":
+		return wire.ShaperFromLink(netsim.LAN())
+	case "modem":
+		return wire.ShaperFromLink(netsim.Modem288())
+	default:
+		log.Fatalf("unknown -wan %q (want lan or modem)", wan)
+		return nil
+	}
+}
+
+// runNode is one serving-node process: a database replica fed over the
+// wire by the master's log shipping, a cache the master pushes rendered
+// pages into, and an HTTP serving layer the master's dispatcher forwards
+// requests to — all three registered on one wire listener. The bound
+// address is printed as "wire listening on <addr>" for the smoke role's
+// parent to parse.
+func runNode(f flags) {
+	reg := stats.NewRegistry()
+	replica := db.New(f.name + "-replica")
+	replica.RegisterMetrics(reg, stats.Labels{"db": f.name + "-replica"})
+	nodeCache := cache.New(f.name)
+
+	var st *site.Site
+	gen := func(key cache.Key, version int64) (*cache.Object, error) {
+		return st.Engine.Generate(key, version)
+	}
+	// The node's engine regenerates misses against the local replica; its
+	// store is the node's own cache (a one-member complex).
+	engine := core.NewEngine(odg.New(), nodeCache, core.WithGenerator(gen))
+	var err error
+	st, err = site.BuildReplica(multiSpec(f), replica, engine)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := httpserver.New(f.name, nodeCache, gen, replica.LSN)
+	for p, body := range st.Statics() {
+		srv.SetStatic(p, body, "text/html; charset=utf-8")
+	}
+	srv.RegisterMetrics(reg, nil)
+
+	wm := wire.NewMetrics()
+	wm.RegisterMetrics(reg, stats.Labels{"endpoint": "node"})
+	ws := wire.NewServer(f.name,
+		wire.WithServerMetrics(wm),
+		wire.WithServerStateHook(func(name, event, detail string) {
+			log.Printf("wire %s: %s %s", name, event, detail)
+		}))
+	wire.RegisterReplica(ws, replica)
+	wire.RegisterStore(ws, nodeCache)
+	wire.RegisterNode(ws, srv)
+	bound, err := ws.Listen(f.wireAddr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The parent smoke process (and humans wiring -peers by hand) read the
+	// address off stdout; everything else logs to stderr.
+	fmt.Printf("wire listening on %s\n", bound)
+
+	if f.addr == "" {
+		select {}
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WriteText(w); err != nil {
+			log.Printf("metrics exposition: %v", err)
+		}
+	})
+	log.Printf("node %s HTTP on %s", f.name, f.addr)
+	log.Fatal(http.ListenAndServe(f.addr, mux))
+}
+
+// masterPlane is the propagation plane the master and smoke roles share: a
+// master database feeding per-node replication, a DUP engine pushing
+// rendered pages through a wire group, a trigger monitor on the CDC feed,
+// and a dispatcher fronting the nodes over the wire.
+type masterPlane struct {
+	reg         *stats.Registry
+	suite       *obs.Suite
+	master      *db.DB
+	st          *site.Site
+	engine      *core.Engine
+	group       *wire.GroupClient
+	replicators []*db.Replicator
+	replicas    []*wire.ReplicaClient
+	remotes     []*wire.RemoteNode
+	mon         *trigger.Monitor
+	nd          *dispatch.Dispatcher
+}
+
+// startMasterPlane wires the master side against the given node addresses:
+// one pooled wire client per node carries all three flows (log shipping,
+// cache pushes, serve/probe traffic).
+func startMasterPlane(f flags, peers []string) *masterPlane {
+	p := &masterPlane{reg: stats.NewRegistry()}
+	tracer := trace.New(trace.WithSLO(f.slo), trace.WithRingSize(f.traceRing))
+	tracer.RegisterMetrics(p.reg)
+	p.suite = obs.NewSuite(obs.WithName("master"),
+		obs.WithTracer(tracer), obs.WithMetrics(p.reg))
+	p.suite.RegisterMetrics(p.reg, nil)
+
+	p.master = db.New("master")
+	p.master.RegisterMetrics(p.reg, stats.Labels{"db": "master"})
+	shape := wireShaper(f.wan)
+
+	wm := wire.NewMetrics()
+	wm.RegisterMetrics(p.reg, stats.Labels{"endpoint": "master"})
+	hook := func(name, event, detail string) {
+		level := obs.LevelInfo
+		if event == "disconnect" || event == "read_error" || event == "partition_drop" {
+			level = obs.LevelWarn
+		}
+		p.suite.Journal.Event(level, "wire", event,
+			"wire connection state change", "peer", name, "detail", detail)
+	}
+
+	var stores []*wire.StoreClient
+	var pool []dispatch.Node
+	for i, addr := range peers {
+		name := fmt.Sprintf("up%d", i)
+		opts := []wire.ClientOption{
+			wire.WithClientMetrics(wm),
+			wire.WithClientStateHook(hook),
+		}
+		if shape != nil {
+			opts = append(opts, wire.WithShaper(shape))
+		}
+		c := wire.Dial(name, addr, opts...)
+		stores = append(stores, wire.NewStoreClient(name, c))
+		p.replicas = append(p.replicas, wire.NewReplicaClient(c))
+		rn := wire.NewRemoteNode(name, c)
+		p.remotes = append(p.remotes, rn)
+		pool = append(pool, rn)
+	}
+	p.group = wire.NewGroupClient(stores,
+		wire.WithGroupDowngradeHook(func(node string, key cache.Key) {
+			p.suite.Journal.Event(obs.LevelWarn, "wire", "push_downgrade",
+				"wire push exhausted retries; node entry invalidated",
+				"node", node, "key", string(key))
+		}))
+	p.group.RegisterMetrics(p.reg, stats.Labels{"transport": "wire"})
+
+	var st *site.Site
+	gen := func(key cache.Key, version int64) (*cache.Object, error) {
+		return st.Engine.Generate(key, version)
+	}
+	p.engine = core.NewEngine(odg.New(), p.group, core.WithGenerator(gen))
+	var err error
+	st, err = site.Build(multiSpec(f), p.master, p.engine)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p.st = st
+	p.engine.SetAssembler(st.Engine)
+	p.engine.RegisterMetrics(p.reg, nil)
+
+	// Ship the log (seed data included) to every node's replica, then wait
+	// for catch-up so node-side miss renders see the same data the pushed
+	// pages were rendered from.
+	for _, rc := range p.replicas {
+		p.replicators = append(p.replicators, db.StartReplicationTo(p.master, rc))
+	}
+	for i, r := range p.replicators {
+		if !r.WaitCaughtUp(30 * time.Second) {
+			log.Fatalf("node %d replica never caught up (lsn %d vs master %d)",
+				i, p.replicas[i].LSN(), p.master.LSN())
+		}
+	}
+	log.Printf("replicas caught up at lsn %d", p.master.LSN())
+
+	log.Printf("prerendering %d pages into %d node caches over the wire...", len(st.Pages()), len(peers))
+	if err := st.PrerenderAll(p.master.LSN(), func(o *cache.Object) { p.group.ApplyPut(o) }); err != nil {
+		log.Fatal(err)
+	}
+
+	p.mon = trigger.New(trigger.Config{
+		Name:        "master",
+		DB:          p.master,
+		Engine:      p.engine,
+		StartLSN:    p.master.LSN(),
+		BatchWindow: 20 * time.Millisecond,
+	}, trigger.WithIndexer(st.Indexer), trigger.WithTracer(tracer))
+	p.mon.RegisterMetrics(p.reg, nil)
+	if err := p.mon.Start(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+
+	p.nd = dispatch.New(dispatch.Config{Name: "nd", Nodes: pool},
+		dispatch.WithObserver(p.suite.Collector))
+	p.nd.RegisterMetrics(p.reg, nil)
+	return p
+}
+
+// runMaster is the propagation-plane process: it owns the master database,
+// renders and pushes pages to the -peers nodes, ships them the log, and
+// fronts them with a dispatcher on -addr.
+func runMaster(f flags) {
+	if f.peers == "" {
+		log.Fatal("master role requires -peers (comma-separated node wire addresses; start nodes with -role node)")
+	}
+	peers := strings.Split(f.peers, ",")
+	p := startMasterPlane(f, peers)
+	go runGames(p.st, f.tick, f.seed)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		obj, outcome, err := p.nd.Serve(r.URL.Path)
+		switch outcome {
+		case httpserver.OutcomeNotFound:
+			http.NotFound(w, r)
+			return
+		case httpserver.OutcomeShed:
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "overloaded", http.StatusServiceUnavailable)
+			return
+		case httpserver.OutcomeError:
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", obj.ContentType)
+		w.Header().Set("X-Cache", outcome.String())
+		w.Header().Set("X-Version", fmt.Sprint(obj.Version))
+		w.Write(obj.Value)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/sitemap", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, strings.Join(p.st.Pages(), "\n"))
+	})
+	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := p.reg.WriteText(w); err != nil {
+			log.Printf("metrics exposition: %v", err)
+		}
+	})
+	mux.HandleFunc("/debug/journal", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(map[string]any{"events": p.suite.Journal.Recent(100)})
+	})
+	log.Printf("master listening on %s (%d pages, %d nodes over the wire)",
+		f.addr, len(p.st.Pages()), len(peers))
+	log.Fatal(http.ListenAndServe(f.addr, mux))
+}
+
+// runSmoke is the loopback deployment check `make check` runs: self-exec
+// -nodes node child processes, bring up the master plane against them,
+// commit a result, and verify the wire carried it into every node — log
+// shipping, cache push, and remote serve all exercised across real process
+// boundaries. Exits 0 on success.
+func runSmoke(f flags) {
+	if f.days == 0 {
+		f.days = 2 // keep the smoke site small
+	}
+	if f.nodes < 2 {
+		f.nodes = 2
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var peers []string
+	var children []*exec.Cmd
+	defer func() {
+		for _, c := range children {
+			c.Process.Kill()
+			c.Wait()
+		}
+	}()
+	for i := 0; i < f.nodes; i++ {
+		name := fmt.Sprintf("up%d", i)
+		cmd := exec.Command(exe, "-role", "node", "-name", name,
+			"-wire-addr", "127.0.0.1:0", "-addr", "",
+			"-days", strconv.Itoa(f.days), fmt.Sprintf("-paper=%t", f.paper))
+		cmd.Stderr = os.Stderr
+		out, err := cmd.StdoutPipe()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := cmd.Start(); err != nil {
+			log.Fatal(err)
+		}
+		children = append(children, cmd)
+		sc := bufio.NewScanner(out)
+		addr := ""
+		for sc.Scan() {
+			if a, ok := strings.CutPrefix(sc.Text(), "wire listening on "); ok {
+				addr = a
+				break
+			}
+		}
+		if addr == "" {
+			log.Fatalf("node %s never reported its wire address", name)
+		}
+		go io.Copy(io.Discard, out) // keep the pipe drained
+		peers = append(peers, addr)
+		log.Printf("node %s up at %s", name, addr)
+	}
+
+	p := startMasterPlane(f, peers)
+	defer p.group.Close()
+	defer p.mon.Shutdown(context.Background())
+	for _, r := range p.replicators {
+		defer r.Stop()
+	}
+
+	// Every node must already hold every prerendered page: spot-check by
+	// serving each page once through the dispatcher, then prove a fresh
+	// commit reaches every node's cache over the wire.
+	probePage := p.st.Pages()[0]
+	serveAll := func() map[string][]byte {
+		out := make(map[string][]byte)
+		for _, rn := range p.remotes {
+			obj, outcome, err := rn.Serve(probePage)
+			if err != nil || outcome == httpserver.OutcomeError {
+				log.Fatalf("%s: serve %s: outcome %v err %v", rn.Name(), probePage, outcome, err)
+			}
+			out[rn.Name()] = obj.Value
+		}
+		return out
+	}
+	serveAll()
+
+	ev := p.st.Events[0]
+	var changedPage string
+	if tx, err := p.st.RecordResult(ev, ev.Participants[0], ev.Participants[1], ev.Participants[2], "240.0"); err != nil {
+		log.Fatal(err)
+	} else {
+		changedPage = fmt.Sprintf("lsn %d", tx.LSN)
+	}
+	p.mon.Flush()
+
+	// The event's result page must now serve the new gold medalist from
+	// every node's cache (a hit, pushed over the wire — not a re-render).
+	resultPage := fmt.Sprintf("/en/sports/%s/%s", ev.Sport, ev.Key)
+	okNodes := 0
+	for _, rn := range p.remotes {
+		obj, outcome, err := rn.Serve(resultPage)
+		if err != nil {
+			log.Fatalf("%s: serve %s: %v", rn.Name(), resultPage, err)
+		}
+		if outcome != httpserver.OutcomeHit {
+			log.Fatalf("%s: %s served as %v, want pushed cache hit", rn.Name(), resultPage, outcome)
+		}
+		if !bytes.Contains(obj.Value, []byte(ev.Participants[0])) {
+			log.Fatalf("%s: %s does not show the new result", rn.Name(), resultPage)
+		}
+		okNodes++
+	}
+	log.Printf("smoke ok: %s propagated to %d/%d nodes over the wire (%s)",
+		resultPage, okNodes, len(p.remotes), changedPage)
+	fmt.Println("SMOKE OK")
 }
 
 // runGames replays the competition on an accelerated clock: every tick a

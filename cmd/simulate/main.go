@@ -64,6 +64,12 @@
 //	simulate -recovery -seed 1
 //	simulate -recovery-bench BENCH_recovery.json
 //
+// The wire benchmark drives the framed TCP transport over loopback — a
+// pipelined stream of page pushes into a node cache — and records push
+// throughput plus the client's RPC latency quantiles as JSON:
+//
+//	simulate -wire-bench BENCH_wire.json
+//
 // Traffic runs at a configurable fraction of the paper's 634.7M hits
 // (default 1/1000); printed hit figures are rescaled back to paper volume
 // for side-by-side comparison.
@@ -106,6 +112,8 @@ func main() {
 	flightMode := flag.Bool("flight", false, "run the flight-recorder scenario: provoke each anomaly trigger once and report the captured black-box dumps")
 	recoveryMode := flag.Bool("recovery", false, "run the node-recovery scenario: kill a node, commit through the outage, readmit it through warmup + slow-start, then flap it and assert exponential damping")
 	recoveryBench := flag.String("recovery-bench", "", "write the warm-vs-cold readmission benchmark as JSON to this file")
+	wireBench := flag.String("wire-bench", "", "write the loopback wire-transport benchmark (push throughput, RPC latency) as JSON to this file")
+	wirePushes := flag.Int("wire-pushes", 5000, "page pushes for -wire-bench")
 	overloadBench := flag.String("overload-bench", "", "write the 1x/3x/5x overload benchmark as JSON to this file")
 	propBench := flag.String("propagation-bench", "", "write the incremental-propagation benchmark (memoized assembly vs full re-render) as JSON to this file")
 	propBursts := flag.Int("propagation-bursts", 400, "update bursts for -propagation-bench")
@@ -160,6 +168,41 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "overload benchmark written to %s\n", *overloadBench)
+		return
+	}
+
+	if *wireBench != "" {
+		rep, err := runWireBench(*seed, *wirePushes, 8<<10, 8)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wire-bench:", err)
+			os.Exit(1)
+		}
+		f, err := os.Create(*wireBench)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wire-bench:", err)
+			os.Exit(1)
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			fmt.Fprintln(os.Stderr, "wire-bench:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "wire-bench:", err)
+			os.Exit(1)
+		}
+		if rep.CallErrors != 0 || rep.Reconnects != 0 {
+			fmt.Fprintf(os.Stderr, "wire-bench: loopback run not clean: call_errors=%d reconnects=%d\n",
+				rep.CallErrors, rep.Reconnects)
+			os.Exit(1)
+		}
+		if rep.PushesPerSec <= 0 || rep.RPCP99Ms <= 0 {
+			fmt.Fprintf(os.Stderr, "wire-bench: degenerate measurements: pushes/s=%.1f p99=%.3fms\n",
+				rep.PushesPerSec, rep.RPCP99Ms)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr,
+			"wire benchmark written to %s (%.0f pushes/s, %.1f MB/s payload, p50=%.3fms p99=%.3fms)\n",
+			*wireBench, rep.PushesPerSec, rep.PayloadMBPerS, rep.RPCP50Ms, rep.RPCP99Ms)
 		return
 	}
 

@@ -1,0 +1,144 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"time"
+
+	"dupserve/internal/cache"
+	"dupserve/internal/wire"
+)
+
+// wireBenchReport is the JSON body of BENCH_wire.json: the framed TCP
+// transport driven over loopback the way the trigger monitor drives it in
+// multi-process mode — a pipelined stream of page pushes into a node cache
+// — with the client's RPC latency histogram summarized alongside the raw
+// throughput.
+type wireBenchReport struct {
+	Seed int64 `json:"seed"`
+	// Pushes is the number of TypePush RPCs issued; PayloadBytes the size
+	// of each pushed page body (representative of a rendered result page).
+	Pushes       int `json:"pushes"`
+	PayloadBytes int `json:"payload_bytes"`
+	// Concurrency is the number of pushing goroutines sharing the pooled
+	// client; the in-flight window is sized to keep them all pipelined.
+	Concurrency    int     `json:"concurrency"`
+	WallMs         float64 `json:"wall_ms"`
+	PushesPerSec   float64 `json:"pushes_per_sec"`
+	PayloadMBPerS  float64 `json:"payload_mb_per_sec"`
+	RPCP50Ms       float64 `json:"rpc_p50_ms"`
+	RPCP99Ms       float64 `json:"rpc_p99_ms"`
+	FramesSent     int64   `json:"frames_sent"`
+	FramesReceived int64   `json:"frames_received"`
+	BytesSent      int64   `json:"bytes_sent"`
+	CallErrors     int64   `json:"call_errors"`
+	Reconnects     int64   `json:"reconnects"`
+	// InFlightHighWater is the window occupancy peak — how deep the
+	// pipeline actually ran.
+	InFlightHighWater int64 `json:"inflight_highwater"`
+}
+
+func (r wireBenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// runWireBench pushes `pushes` seeded page-sized objects over a loopback
+// wire server into a node cache and reports throughput plus the client's
+// RPC latency quantiles. Every push must land: the bench fails if any key
+// is missing from the receiving cache afterwards.
+func runWireBench(seed int64, pushes, payloadBytes, concurrency int) (wireBenchReport, error) {
+	rep := wireBenchReport{Seed: seed, Pushes: pushes,
+		PayloadBytes: payloadBytes, Concurrency: concurrency}
+
+	nodeCache := cache.New("bench-node")
+	srv := wire.NewServer("bench-node")
+	wire.RegisterStore(srv, nodeCache)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		return rep, err
+	}
+	defer srv.Close()
+
+	m := wire.NewMetrics()
+	client := wire.Dial("bench", addr.String(),
+		wire.WithClientMetrics(m),
+		wire.WithPoolSize(2),
+		wire.WithMaxInFlight(4*concurrency),
+		wire.WithCallTimeout(5*time.Second))
+	sc := wire.NewStoreClient("bench-node", client)
+	defer sc.Close()
+
+	rng := rand.New(rand.NewSource(seed))
+	body := make([]byte, payloadBytes)
+	rng.Read(body)
+
+	// Warm the pooled connection before the timed phase: a concurrent cold
+	// start would make non-dialing pushers fail fast with a transient
+	// unavailable error (the propagation plane's retry policy absorbs
+	// those; the bench measures the steady state instead).
+	if err := sc.Put(&cache.Object{Key: "/bench/warmup", Value: body}); err != nil {
+		return rep, err
+	}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	start := time.Now()
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < pushes; i += concurrency {
+				obj := &cache.Object{
+					Key:         cache.Key(fmt.Sprintf("/bench/page-%06d", i)),
+					Value:       body,
+					ContentType: "text/html",
+					Version:     int64(i + 1),
+				}
+				if err := sc.Put(obj); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	if firstErr != nil {
+		return rep, firstErr
+	}
+
+	for i := 0; i < pushes; i++ {
+		key := cache.Key(fmt.Sprintf("/bench/page-%06d", i))
+		if _, ok := nodeCache.Get(key); !ok {
+			return rep, fmt.Errorf("push %s acked but absent from node cache", key)
+		}
+	}
+
+	rep.WallMs = float64(wall) / float64(time.Millisecond)
+	secs := wall.Seconds()
+	if secs > 0 {
+		rep.PushesPerSec = float64(pushes) / secs
+		rep.PayloadMBPerS = float64(pushes) * float64(payloadBytes) / (1 << 20) / secs
+	}
+	rep.RPCP50Ms = m.RPCSeconds.Quantile(0.50) * 1000
+	rep.RPCP99Ms = m.RPCSeconds.Quantile(0.99) * 1000
+	rep.FramesSent = m.FramesSent.Value()
+	rep.FramesReceived = m.FramesReceived.Value()
+	rep.BytesSent = m.BytesSent.Value()
+	rep.CallErrors = m.CallErrors.Value()
+	rep.Reconnects = m.Reconnects.Value()
+	rep.InFlightHighWater = m.InFlight.Max()
+	return rep, nil
+}

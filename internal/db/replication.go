@@ -1,9 +1,19 @@
 package db
 
 import (
+	"errors"
 	"sync"
 	"time"
 )
+
+// Target is the receiving end of replication: apply one transaction, report
+// the highest LSN applied. A *DB is a Target (the in-process wiring the
+// simulations use); wire.ReplicaClient is a Target that ships each
+// transaction over TCP to a replica in another process.
+type Target interface {
+	Apply(Transaction) error
+	LSN() int64
+}
 
 // Replicator ships committed transactions from a master database to a
 // replica, mirroring Figure 5 of the paper (master in Nagano -> Tokyo and
@@ -18,7 +28,7 @@ import (
 // replica.
 type Replicator struct {
 	master      *DB
-	replica     *DB
+	replica     Target
 	delay       func(Transaction) time.Duration
 	sleep       func(time.Duration)
 	partitioned func() bool
@@ -66,6 +76,17 @@ func WithPartitionCheck(f func() bool) ReplOption {
 // StartReplication begins shipping master's log to replica and returns the
 // running Replicator. The caller must Stop it to release the feed.
 func StartReplication(master, replica *DB, opts ...ReplOption) *Replicator {
+	return StartReplicationTo(master, replica, opts...)
+}
+
+// StartReplicationTo begins shipping master's log to an arbitrary Target —
+// a local *DB or a wire client fronting a replica in another process. Apply
+// errors that expose `Transient() bool` (transport failures: the link is
+// down, not the log broken) park delivery and retry the same transaction in
+// order until it lands or Stop is called, preserving the partition
+// semantics of local replication: committed transactions queue, nothing is
+// lost, the replica catches up when the path heals.
+func StartReplicationTo(master *DB, replica Target, opts ...ReplOption) *Replicator {
 	r := &Replicator{
 		master:  master,
 		replica: replica,
@@ -126,19 +147,43 @@ func (r *Replicator) ship(tx Transaction) bool {
 }
 
 func (r *Replicator) apply(tx Transaction) {
-	if err := r.replica.Apply(tx); err != nil {
-		// Apply fails only on LSN gaps (a replication bug) or a closed
-		// replica (a simulated complex failure). Either way the replicator
-		// must not silently skip: record and stop consuming.
+	backoff := time.Millisecond
+	for {
+		err := r.replica.Apply(tx)
+		if err == nil {
+			r.mu.Lock()
+			r.applied = tx.LSN
+			r.mu.Unlock()
+			return
+		}
+		var t interface{ Transient() bool }
+		if errors.As(err, &t) && t.Transient() {
+			// The target is unreachable, not wrong: park and retry this
+			// transaction so delivery stays in LSN order, exactly like the
+			// partition hold in ship. Check quit so Stop stays prompt.
+			select {
+			case <-r.quit:
+				r.mu.Lock()
+				r.stopped = true
+				r.mu.Unlock()
+				return
+			default:
+			}
+			time.Sleep(backoff)
+			if backoff < 50*time.Millisecond {
+				backoff *= 2
+			}
+			continue
+		}
+		// Non-transient Apply failures are LSN gaps (a replication bug) or a
+		// closed replica (a simulated complex failure). Either way the
+		// replicator must not silently skip: record and stop consuming.
 		r.mu.Lock()
 		r.stopped = true
 		r.mu.Unlock()
 		r.cancel()
 		return
 	}
-	r.mu.Lock()
-	r.applied = tx.LSN
-	r.mu.Unlock()
 }
 
 // Lag returns how many transactions the replica trails the master by.

@@ -44,6 +44,26 @@ func LAN() LinkSpec {
 	return LinkSpec{DownKbps: 10_000, RTT: 2 * time.Millisecond, Efficiency: 0.9}
 }
 
+// FrameDelay returns the one-way time for a frame of n bytes to cross the
+// link: half a round trip of propagation plus serialization at effective
+// bandwidth. The wire transport uses it to shape its frames when a
+// deployment wants the propagation plane to feel like the paper's WAN hops
+// (Nagano to Schaumburg) instead of loopback.
+func FrameDelay(link LinkSpec, n int) time.Duration {
+	eff := link.Efficiency
+	if eff <= 0 || eff > 1 {
+		eff = 1
+	}
+	bps := link.DownKbps * 1000 * eff
+	if bps <= 1 {
+		bps = 1
+	}
+	if n < 0 {
+		n = 0
+	}
+	return link.RTT/2 + time.Duration(float64(n*8)/bps*float64(time.Second))
+}
+
 // PageSpec describes a fetched page: total payload bytes and the number of
 // HTTP objects composing it (HTML plus embedded images). Each object costs
 // connection round trips under HTTP/1.0-era behaviour.

@@ -1,0 +1,63 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"dupserve/internal/db"
+)
+
+// FuzzDecodeFrame asserts DecodeFrame never panics on arbitrary bytes and
+// that anything it accepts re-encodes byte-identically (the frame format is
+// canonical: one encoding per frame).
+func FuzzDecodeFrame(f *testing.F) {
+	f.Add(AppendFrame(nil, Frame{Type: TypePing, ID: 1}))
+	f.Add(AppendFrame(nil, Frame{Type: TypePush, ID: 42, Payload: []byte("page bytes")}))
+	f.Add(AppendFrame(nil, Frame{Type: TypeTxn, ID: 7,
+		Payload: EncodeTransaction(nil, db.Transaction{LSN: 3})}))
+	f.Add([]byte("DUPW"))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, headerSize+trailerSize))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, n, err := DecodeFrame(data)
+		if err != nil {
+			return
+		}
+		if n < headerSize+trailerSize || n > len(data) {
+			t.Fatalf("accepted frame reports impossible size %d (input %d)", n, len(data))
+		}
+		re := AppendFrame(nil, fr)
+		if !bytes.Equal(re, data[:n]) {
+			t.Fatalf("accepted frame does not re-encode canonically")
+		}
+		// The stream path must agree with the buffer path.
+		fr2, n2, err := ReadFrame(bytes.NewReader(data[:n]))
+		if err != nil || n2 != n || fr2.Type != fr.Type || fr2.ID != fr.ID ||
+			!bytes.Equal(fr2.Payload, fr.Payload) {
+			t.Fatalf("stream decode disagrees with buffer decode: %v", err)
+		}
+	})
+}
+
+// FuzzDecodeTransaction asserts the transaction codec never panics and
+// that accepted payloads re-encode to something that decodes to the same
+// transaction (maps make byte-identity too strong a property).
+func FuzzDecodeTransaction(f *testing.F) {
+	f.Add(EncodeTransaction(nil, db.Transaction{LSN: 1, Changes: []db.Change{
+		{Table: "results", Key: "k", Op: db.OpPut, Cols: map[string]string{"a": "b"}}}}))
+	f.Add(EncodeTransaction(nil, db.Transaction{}))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tx, err := DecodeTransaction(data)
+		if err != nil {
+			return
+		}
+		tx2, err := DecodeTransaction(EncodeTransaction(nil, tx))
+		if err != nil {
+			t.Fatalf("re-decode of accepted transaction failed: %v", err)
+		}
+		if tx2.LSN != tx.LSN || len(tx2.Changes) != len(tx.Changes) {
+			t.Fatalf("decode not stable: %+v vs %+v", tx, tx2)
+		}
+	})
+}

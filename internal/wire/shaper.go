@@ -1,0 +1,16 @@
+package wire
+
+import (
+	"time"
+
+	"dupserve/internal/netsim"
+)
+
+// ShaperFromLink adapts a netsim link into the client's frame shaper: each
+// frame is charged the link's one-way propagation plus serialization time
+// for its encoded size. Wiring a Modem288 or WAN LinkSpec here makes a
+// loopback deployment's propagation plane feel like the paper's
+// Nagano-to-Schaumburg hop without leaving the laptop.
+func ShaperFromLink(link netsim.LinkSpec) func(bytes int) time.Duration {
+	return func(bytes int) time.Duration { return netsim.FrameDelay(link, bytes) }
+}

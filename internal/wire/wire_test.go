@@ -1,0 +1,422 @@
+package wire
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dupserve/internal/cache"
+	"dupserve/internal/db"
+	"dupserve/internal/netsim"
+)
+
+// startEcho starts a server answering TypePing with its request payload.
+func startEcho(t *testing.T, opts ...ServerOption) (*Server, string) {
+	t.Helper()
+	s := NewServer("echo", opts...)
+	s.Handle(TypePing, func(p []byte) ([]byte, error) { return p, nil })
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	t.Cleanup(s.Close)
+	return s, addr.String()
+}
+
+// TestClientServerRPC covers the basic request/response path plus metrics
+// and state-hook accounting.
+func TestClientServerRPC(t *testing.T) {
+	var events []string
+	var evMu sync.Mutex
+	hook := func(name, event, detail string) {
+		evMu.Lock()
+		events = append(events, name+":"+event)
+		evMu.Unlock()
+	}
+	_, addr := startEcho(t)
+	m := NewMetrics()
+	c := Dial("t", addr, WithClientMetrics(m), WithClientStateHook(hook))
+	defer c.Close()
+
+	for i := 0; i < 5; i++ {
+		payload := []byte(fmt.Sprintf("ping-%d", i))
+		resp, err := c.Call(context.Background(), TypePing, payload)
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		if !bytes.Equal(resp, payload) {
+			t.Fatalf("call %d: echo mismatch %q", i, resp)
+		}
+	}
+	if got := m.FramesSent.Value(); got != 5 {
+		t.Fatalf("frames sent = %d, want 5", got)
+	}
+	if got := m.FramesReceived.Value(); got != 5 {
+		t.Fatalf("frames received = %d, want 5", got)
+	}
+	if m.BytesSent.Value() == 0 || m.BytesReceived.Value() == 0 {
+		t.Fatal("byte counters did not move")
+	}
+	if m.Connects.Value() == 0 {
+		t.Fatal("connects did not count")
+	}
+	if m.RPCSeconds.Count() != 5 {
+		t.Fatalf("rpc histogram observed %d, want 5", m.RPCSeconds.Count())
+	}
+	evMu.Lock()
+	defer evMu.Unlock()
+	if len(events) == 0 || events[0] != "t:connect" {
+		t.Fatalf("state hook events = %v, want leading t:connect", events)
+	}
+}
+
+// TestRemoteErrorsAreNotTransient pins the error taxonomy: a handler
+// failure and a missing handler both surface as *RemoteError, which retry
+// layers must not treat as a link problem.
+func TestRemoteErrorsAreNotTransient(t *testing.T) {
+	s, addr := startEcho(t)
+	s.Handle(TypeLSN, func(p []byte) ([]byte, error) { return nil, errors.New("handler boom") })
+	c := Dial("t", addr)
+	defer c.Close()
+
+	_, err := c.Call(context.Background(), TypeLSN, nil)
+	var re *RemoteError
+	if !errors.As(err, &re) || re.Msg != "handler boom" {
+		t.Fatalf("handler error: got %v", err)
+	}
+	if IsTransient(err) {
+		t.Fatal("remote handler error classified transient")
+	}
+
+	_, err = c.Call(context.Background(), TypeServe, nil)
+	if !errors.As(err, &re) {
+		t.Fatalf("missing handler: got %v", err)
+	}
+	if IsTransient(err) {
+		t.Fatal("missing-handler error classified transient")
+	}
+}
+
+// TestClientReconnect severs every server-side connection and requires the
+// client to redial transparently, counting the reconnect.
+func TestClientReconnect(t *testing.T) {
+	s, addr := startEcho(t)
+	m := NewMetrics()
+	c := Dial("t", addr, WithClientMetrics(m), WithPoolSize(1))
+	defer c.Close()
+
+	if _, err := c.Call(context.Background(), TypePing, []byte("a")); err != nil {
+		t.Fatalf("first call: %v", err)
+	}
+	if n := s.DropConnections(); n == 0 {
+		t.Fatal("no connections to drop")
+	}
+	// The drop races the client noticing; retry until the redial lands.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		_, err := c.Call(context.Background(), TypePing, []byte("b"))
+		if err == nil {
+			break
+		}
+		if !IsTransient(err) {
+			t.Fatalf("reconnect path returned non-transient error: %v", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("client never reconnected: %v", err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if m.Reconnects.Value() == 0 {
+		t.Fatal("reconnect not counted")
+	}
+}
+
+// TestClientBackoffFailFast requires calls during the reconnect backoff
+// window to fail immediately with a transient error instead of redialing a
+// dead address per call.
+func TestClientBackoffFailFast(t *testing.T) {
+	dials := 0
+	c := Dial("t", "unreachable:1",
+		WithReconnectBackoff(time.Second, time.Second),
+		WithDialer(func(addr string, timeout time.Duration) (net.Conn, error) {
+			dials++
+			return nil, errors.New("refused")
+		}))
+	defer c.Close()
+
+	if _, err := c.Call(context.Background(), TypePing, nil); !IsTransient(err) {
+		t.Fatalf("first call: want transient error, got %v", err)
+	}
+	start := time.Now()
+	_, err := c.Call(context.Background(), TypePing, nil)
+	if !IsTransient(err) {
+		t.Fatalf("second call: want transient error, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Fatalf("call during backoff took %v, want fail-fast", elapsed)
+	}
+	if dials != 1 {
+		t.Fatalf("dialed %d times, want 1 (backoff gates the second)", dials)
+	}
+}
+
+// TestClientPartitionTaxonomy runs the fault-injection contract: while the
+// partition check reports true, calls fail with ErrPartitioned (transient),
+// live connections are dropped and counted; after the heal the client
+// reconnects and serves again.
+func TestClientPartitionTaxonomy(t *testing.T) {
+	_, addr := startEcho(t)
+	var partitioned atomic.Bool
+	m := NewMetrics()
+	c := Dial("t", addr,
+		WithClientMetrics(m),
+		WithPoolSize(1),
+		WithReconnectBackoff(time.Millisecond, time.Millisecond),
+		WithPartitionCheck(partitioned.Load))
+	defer c.Close()
+
+	if _, err := c.Call(context.Background(), TypePing, nil); err != nil {
+		t.Fatalf("pre-partition call: %v", err)
+	}
+
+	partitioned.Store(true)
+	_, err := c.Call(context.Background(), TypePing, nil)
+	if !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("partitioned call: got %v, want ErrPartitioned", err)
+	}
+	if !IsTransient(err) {
+		t.Fatal("ErrPartitioned must be transient")
+	}
+	if m.PartitionDrops.Value() == 0 {
+		t.Fatal("live connection not dropped on partition")
+	}
+	if c.Connected() {
+		t.Fatal("client still holds a connection during partition")
+	}
+
+	partitioned.Store(false)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, err := c.Call(context.Background(), TypePing, nil); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("client never recovered after heal")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if m.Reconnects.Value() == 0 {
+		t.Fatal("post-heal reconnect not counted")
+	}
+}
+
+// TestClientInFlightWindow verifies the bounded window: with the window
+// full, further calls fail at their deadline instead of queueing, and the
+// gauge's high-water mark records the occupancy.
+func TestClientInFlightWindow(t *testing.T) {
+	release := make(chan struct{})
+	s := NewServer("slow")
+	s.Handle(TypePing, func(p []byte) ([]byte, error) {
+		<-release
+		return p, nil
+	})
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer s.Close()
+
+	m := NewMetrics()
+	c := Dial("t", addr.String(), WithClientMetrics(m), WithMaxInFlight(2))
+	defer c.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := c.Call(context.Background(), TypePing, nil); err != nil {
+				t.Errorf("windowed call: %v", err)
+			}
+		}()
+	}
+	// Wait until both slots are held.
+	deadline := time.Now().Add(2 * time.Second)
+	for m.InFlight.Value() != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("in-flight never reached 2 (at %d)", m.InFlight.Value())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if _, err := c.Call(ctx, TypePing, nil); err == nil {
+		t.Fatal("third call succeeded with the window full")
+	} else if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("third call: got %v, want deadline via full window", err)
+	}
+
+	close(release)
+	wg.Wait()
+	if hw := m.InFlight.Max(); hw != 2 {
+		t.Fatalf("in-flight high-water = %d, want 2", hw)
+	}
+	if m.InFlight.Value() != 0 {
+		t.Fatalf("in-flight gauge leaked: %d", m.InFlight.Value())
+	}
+}
+
+// TestShaperDelaysFrames wires a WAN-shaped link and requires the call to
+// pay its one-way delay.
+func TestShaperDelaysFrames(t *testing.T) {
+	_, addr := startEcho(t)
+	link := netsim.LinkSpec{DownKbps: 10_000, RTT: 40 * time.Millisecond, Efficiency: 1}
+	c := Dial("t", addr, WithShaper(ShaperFromLink(link)))
+	defer c.Close()
+
+	start := time.Now()
+	if _, err := c.Call(context.Background(), TypePing, nil); err != nil {
+		t.Fatalf("call: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
+		t.Fatalf("shaped call took %v, want >= one-way RTT/2 of 20ms", elapsed)
+	}
+}
+
+// TestReplicationOverWire ships a master's log to a replica process over
+// TCP, severs the link mid-stream, and requires in-order convergence after
+// the heal — the park-and-replay semantics of local replication, networked.
+func TestReplicationOverWire(t *testing.T) {
+	replica := db.New("replica")
+	s := NewServer("replica")
+	RegisterReplica(s, replica)
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer s.Close()
+
+	master := db.New("master")
+	master.CreateTable("results")
+	rc := NewReplicaClient(Dial("repl", addr.String(),
+		WithCallTimeout(200*time.Millisecond),
+		WithReconnectBackoff(time.Millisecond, 5*time.Millisecond)))
+	defer rc.Close()
+
+	repl := db.StartReplicationTo(master, rc)
+	defer repl.Stop()
+
+	for i := 0; i < 5; i++ {
+		if _, err := master.Commit(master.NewTx().Put("results", fmt.Sprintf("ev%d", i),
+			map[string]string{"n": fmt.Sprint(i)})); err != nil {
+			t.Fatalf("commit %d: %v", i, err)
+		}
+	}
+	if !repl.WaitCaughtUp(5 * time.Second) {
+		t.Fatalf("replica never caught up: lsn %d vs %d", replica.LSN(), master.LSN())
+	}
+
+	// Sever the link mid-stream and keep committing.
+	s.DropConnections()
+	for i := 5; i < 10; i++ {
+		if _, err := master.Commit(master.NewTx().Put("results", fmt.Sprintf("ev%d", i),
+			map[string]string{"n": fmt.Sprint(i)})); err != nil {
+			t.Fatalf("commit %d: %v", i, err)
+		}
+	}
+	if !repl.WaitCaughtUp(5 * time.Second) {
+		t.Fatalf("replica never converged after drop: lsn %d vs %d", replica.LSN(), master.LSN())
+	}
+	if replica.LSN() != master.LSN() {
+		t.Fatalf("replica LSN %d != master %d", replica.LSN(), master.LSN())
+	}
+	row, ok, err := replica.Get("results", "ev9")
+	if err != nil || !ok || row.Cols["n"] != "9" {
+		t.Fatalf("replica row ev9: %v %v %v", row, ok, err)
+	}
+}
+
+// TestGroupClientFanOutAndDebt drives the push plane over the wire: a put
+// reaches every node; with one node unreachable the push downgrades, and
+// when even the invalidation cannot be delivered the debt is recorded and
+// replayed on recovery so the stale entry is purged.
+func TestGroupClientFanOutAndDebt(t *testing.T) {
+	newNode := func(name string) (*cache.Cache, *Server, string) {
+		c := cache.New(name)
+		s := NewServer(name)
+		RegisterStore(s, c)
+		addr, err := s.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("%s listen: %v", name, err)
+		}
+		return c, s, addr.String()
+	}
+	c1, s1, a1 := newNode("up0")
+	c2, s2, a2 := newNode("up1")
+	defer s1.Close()
+	defer s2.Close()
+
+	clientFor := func(name, addr string) *StoreClient {
+		return NewStoreClient(name, Dial(name, addr,
+			WithCallTimeout(100*time.Millisecond),
+			WithReconnectBackoff(time.Millisecond, 5*time.Millisecond)))
+	}
+	g := NewGroupClient(
+		[]*StoreClient{clientFor("up0", a1), clientFor("up1", a2)},
+		WithGroupRetryPolicy(cache.RetryPolicy{
+			MaxAttempts: 2, Backoff: time.Millisecond, MaxBackoff: time.Millisecond,
+			Sleep: func(time.Duration) {}}),
+		WithFlushInterval(2*time.Millisecond))
+	defer g.Close()
+
+	obj := &cache.Object{Key: "/en/home", Value: []byte("v1"), Version: 1}
+	g.ApplyPut(obj)
+	for _, c := range []*cache.Cache{c1, c2} {
+		if got, ok := c.Get("/en/home"); !ok || !bytes.Equal(got.Value, []byte("v1")) {
+			t.Fatalf("%s missed the broadcast", c.Name())
+		}
+	}
+
+	// Take node 2's process down entirely: push, retry, and the downgrade
+	// invalidation all fail, leaving recorded debt.
+	s2.Close()
+	obj2 := &cache.Object{Key: "/en/home", Value: []byte("v2"), Version: 2}
+	g.ApplyPut(obj2)
+	if got, ok := c1.Get("/en/home"); !ok || !bytes.Equal(got.Value, []byte("v2")) {
+		t.Fatal("reachable node did not receive v2")
+	}
+	if g.PendingDebt() == 0 {
+		t.Fatal("unreachable node accrued no invalidation debt")
+	}
+	// Node 2 still holds v1 — exactly the stale copy the debt exists to kill.
+	if _, ok := c2.Get("/en/home"); !ok {
+		t.Fatal("test premise broken: node 2 should still hold v1")
+	}
+
+	// The node's process comes back on the same address (its cache survived,
+	// stale v1 and all). The flusher must settle the debt unprompted.
+	s2b := NewServer("up1")
+	RegisterStore(s2b, c2)
+	if _, err := s2b.Listen(a2); err != nil {
+		t.Fatalf("relisten: %v", err)
+	}
+	defer s2b.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for g.PendingDebt() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("debt never settled: %d outstanding", g.PendingDebt())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, ok := c2.Get("/en/home"); ok {
+		t.Fatal("stale entry survived debt replay")
+	}
+}
