@@ -1,32 +1,21 @@
 GO ?= go
 
-# Packages with lock-free hot paths where a data race would corrupt the
-# observability layer itself, plus the fault-injection and recovery layer
-# whose whole point is concurrent crash/restart, plus the overload/admission
-# path (limiter, degradation serving) which is exercised by many goroutines
-# at once, plus the auditor whose Observe runs on every node's request path
-# concurrently with sweeps, plus the serve-span/journal/flight-recorder
-# layer whose collector is written from every request goroutine, plus the
-# fragment assembler whose single-flight table and version floors are hit by
-# parallel page-assembly workers, plus the dispatcher's probation state
-# machine and the cluster/recovery node lifecycle (warmups race fails,
-# advisor sweeps race serves), plus the wire transport whose pooled client
-# demultiplexes concurrent RPCs against reconnects and partition drops;
-# check runs them under the race detector.
-RACE_PKGS = ./internal/stats ./internal/trace ./internal/trigger ./internal/core ./internal/cache ./internal/db ./internal/fault ./internal/deploy ./internal/overload ./internal/httpserver ./internal/audit ./internal/obs ./internal/fragment ./internal/dispatch ./internal/cluster ./internal/recovery ./internal/wire
-
-.PHONY: all build test race check chaos audit flight recovery smoke bench bench-overload bench-propagation bench-recovery bench-wire run
+.PHONY: all build test race check chaos audit flight recovery smoke bench bench-overload bench-propagation bench-recovery bench-serve bench-wire compare-serve run
 
 all: check
 
 build:
 	$(GO) build ./...
 
+# Tests run with -shuffle=on so order dependencies cannot hide.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
+# The whole module runs under the race detector — no package allowlist. The
+# serve plane (striped cache, RCU dispatch, zero-alloc hit path) is lock-free
+# or fine-grained by design, and every package is expected to be race-clean.
 race:
-	$(GO) test -race $(RACE_PKGS)
+	$(GO) test -race -shuffle=on ./...
 
 # chaos runs the deterministic fault-injection tournament (every fault kind
 # against a live deployment, asserting zero lost transactions, zero stale
@@ -82,6 +71,20 @@ bench-propagation:
 bench-recovery:
 	$(GO) run ./cmd/simulate -recovery-bench BENCH_recovery.json -seed 1
 
+# bench-serve records the serve-path saturation benchmark: the full
+# dispatcher -> node -> httpserver -> cache path under a Zipf hit/miss/stale
+# mix and a pure-hit workload, across GOMAXPROCS 1/2/4/8, for the striped/
+# RCU/zero-alloc path against the pre-overhaul baseline in the same run.
+bench-serve:
+	$(GO) run ./cmd/simulate -serve-bench BENCH_serve.json -seed 1998
+
+# compare-serve re-measures the serve benchmark and fails on a material
+# regression against the committed BENCH_serve.json (any hit-path alloc
+# increase; >15% drop in throughput or speedup-vs-baseline).
+compare-serve:
+	$(GO) run ./cmd/simulate -serve-bench /tmp/BENCH_serve.fresh.json -seed 1998
+	$(GO) run ./cmd/analyze -compare BENCH_serve.json -fresh /tmp/BENCH_serve.fresh.json
+
 # bench-wire records the framed TCP transport's loopback figures: page-push
 # throughput through the pooled, pipelined client and the RPC latency
 # p50/p99 (the run fails on any call error or reconnect — loopback must be
@@ -90,18 +93,21 @@ bench-wire:
 	$(GO) run ./cmd/simulate -wire-bench BENCH_wire.json -seed 1
 
 # check is the tier-1 gate: everything builds, vets clean, every test
-# passes, the propagation pipeline is race-clean, the chaos tournament
+# passes (shuffled), the whole module is race-clean, the chaos tournament
 # converges, the consistency audit proves the plant coherent, the recovery
-# scenario readmits a failed node without serving stale pages, and the
-# multi-process smoke proves the wire path against real child processes.
+# scenario readmits a failed node without serving stale pages, the
+# multi-process smoke proves the wire path against real child processes,
+# and the serve benchmark shows no regression against the committed
+# baseline.
 check: build
 	$(GO) vet ./...
-	$(GO) test ./...
-	$(GO) test -race $(RACE_PKGS)
+	$(GO) test -shuffle=on ./...
+	$(GO) test -race -shuffle=on ./...
 	$(GO) run ./cmd/simulate -chaos -seed 1
 	$(GO) run ./cmd/simulate -audit -seed 1
 	$(GO) run ./cmd/simulate -recovery -seed 1
 	$(GO) run ./cmd/olympicsd -role smoke -nodes 2
+	$(MAKE) compare-serve
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// compareCell mirrors the serve-bench cell fields the regression guard
+// reads; unknown fields in the JSON are ignored.
+type compareCell struct {
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Throughput float64 `json:"throughput_rps"`
+	AllocsPerW float64 `json:"allocs_per_op"`
+}
+
+type compareVariant struct {
+	Name     string        `json:"name"`
+	Cells    []compareCell `json:"cells"`
+	HitCells []compareCell `json:"hit_cells"`
+}
+
+type compareReport struct {
+	NumCPU         int            `json:"num_cpu"`
+	Baseline       compareVariant `json:"baseline"`
+	Overhauled     compareVariant `json:"overhauled"`
+	SpeedupAtMax   float64        `json:"speedup_vs_baseline_at_max_procs"`
+	HitAllocsPerOp float64        `json:"overhauled_hit_allocs_per_op_worst"`
+}
+
+func loadCompareReport(path string) (compareReport, error) {
+	var r compareReport
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(b, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(r.Overhauled.HitCells) == 0 || len(r.Baseline.HitCells) == 0 {
+		return r, fmt.Errorf("%s: not a serve-bench report (no hit cells)", path)
+	}
+	return r, nil
+}
+
+// allocEpsilon tolerates measurement residue (runtime bookkeeping mallocs
+// amortized over the cell) without letting a real per-request allocation —
+// which costs at least 1.0/op — slip through.
+const allocEpsilon = 0.5
+
+// runCompare diffs a fresh serve-bench report against the committed
+// baseline report and returns a non-empty list of regressions when the
+// fresh run is materially worse. The rules:
+//
+//   - Any hit-path alloc increase fails: allocs/op is deterministic (the
+//     AllocsPerRun-guarded tests pin it at zero), so growth beyond epsilon
+//     means someone put an allocation back on the hit path.
+//   - The speedup-vs-baseline ratio may not drop more than maxDropPct: both
+//     variants run in the same process on the same host, so their ratio is
+//     host-independent — it measures the overhaul itself.
+//   - Absolute hit-path throughput may not drop more than maxDropPct, but
+//     only when the recorded host shape (NumCPU) matches; across different
+//     hosts absolute numbers are not comparable.
+func runCompare(committedPath, freshPath string, maxDropPct float64) []string {
+	var regressions []string
+	committed, err := loadCompareReport(committedPath)
+	if err != nil {
+		return []string{err.Error()}
+	}
+	fresh, err := loadCompareReport(freshPath)
+	if err != nil {
+		return []string{err.Error()}
+	}
+
+	if fresh.HitAllocsPerOp > committed.HitAllocsPerOp+allocEpsilon {
+		regressions = append(regressions, fmt.Sprintf(
+			"hit-path allocs/op grew: %.3f -> %.3f (any increase fails)",
+			committed.HitAllocsPerOp, fresh.HitAllocsPerOp))
+	}
+	for _, fc := range fresh.Overhauled.HitCells {
+		if fc.AllocsPerW > allocEpsilon {
+			regressions = append(regressions, fmt.Sprintf(
+				"hit cell @%d procs allocates %.3f/op (want ~0)", fc.GOMAXPROCS, fc.AllocsPerW))
+		}
+	}
+
+	frac := maxDropPct / 100
+	if committed.SpeedupAtMax > 0 && fresh.SpeedupAtMax < committed.SpeedupAtMax*(1-frac) {
+		regressions = append(regressions, fmt.Sprintf(
+			"speedup vs baseline dropped >%.0f%%: %.2fx -> %.2fx",
+			maxDropPct, committed.SpeedupAtMax, fresh.SpeedupAtMax))
+	}
+
+	if committed.NumCPU == fresh.NumCPU {
+		for _, cc := range committed.Overhauled.HitCells {
+			for _, fc := range fresh.Overhauled.HitCells {
+				if fc.GOMAXPROCS != cc.GOMAXPROCS || cc.Throughput <= 0 {
+					continue
+				}
+				if fc.Throughput < cc.Throughput*(1-frac) {
+					regressions = append(regressions, fmt.Sprintf(
+						"hit throughput @%d procs dropped >%.0f%%: %.0f -> %.0f req/s",
+						cc.GOMAXPROCS, maxDropPct, cc.Throughput, fc.Throughput))
+				}
+			}
+		}
+	}
+	return regressions
+}

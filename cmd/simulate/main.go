@@ -117,7 +117,34 @@ func main() {
 	overloadBench := flag.String("overload-bench", "", "write the 1x/3x/5x overload benchmark as JSON to this file")
 	propBench := flag.String("propagation-bench", "", "write the incremental-propagation benchmark (memoized assembly vs full re-render) as JSON to this file")
 	propBursts := flag.Int("propagation-bursts", 400, "update bursts for -propagation-bench")
+	serveBench := flag.String("serve-bench", "", "write the serve-path saturation benchmark (striped/RCU/zero-alloc vs pre-overhaul baseline across GOMAXPROCS 1/2/4/8) as JSON to this file")
 	flag.Parse()
+
+	if *serveBench != "" {
+		rep, err := runServeBench(*seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "serve-bench:", err)
+			os.Exit(1)
+		}
+		f, err := os.Create(*serveBench)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "serve-bench:", err)
+			os.Exit(1)
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			fmt.Fprintln(os.Stderr, "serve-bench:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "serve-bench:", err)
+			os.Exit(1)
+		}
+		last := rep.Overhauled.HitCells[len(rep.Overhauled.HitCells)-1]
+		fmt.Fprintf(os.Stderr,
+			"serve benchmark written to %s (hit path %.0f req/s @%d procs, %.2fx vs baseline, %.2f allocs/op; mixed %.2fx)\n",
+			*serveBench, last.Throughput, last.GOMAXPROCS, rep.SpeedupAtMax, rep.HitAllocsPerOp, rep.MixedSpeedupAtMax)
+		return
+	}
 
 	if *propBench != "" {
 		rep, err := runPropagationBench(*seed, *propBursts)

@@ -1,0 +1,380 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dupserve/internal/cache"
+	"dupserve/internal/cluster"
+	"dupserve/internal/dispatch"
+	"dupserve/internal/httpserver"
+	"dupserve/internal/overload"
+)
+
+// serveBenchCell is one measured configuration: a serve-path variant at one
+// GOMAXPROCS setting.
+type serveBenchCell struct {
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Requests   int64   `json:"requests"`
+	WallMs     float64 `json:"wall_ms"`
+	Throughput float64 `json:"throughput_rps"`
+	P50Us      float64 `json:"p50_us"`
+	P99Us      float64 `json:"p99_us"`
+	AllocsPerW float64 `json:"allocs_per_op"`
+	HitRate    float64 `json:"hit_rate"`
+	Hits       int64   `json:"hits"`
+	Misses     int64   `json:"misses"`
+	Stales     int64   `json:"stales"`
+	Sheds      int64   `json:"sheds"`
+	// ScalingEfficiency is throughput relative to the variant's own
+	// 1-proc cell, divided by the proc count (1.0 = perfect scaling).
+	ScalingEfficiency float64 `json:"scaling_efficiency"`
+}
+
+// serveBenchVariant is one serve-path implementation measured across the
+// GOMAXPROCS ladder, twice: under the mixed hit/miss/stale workload and
+// under a pure-hit workload that isolates the hit path itself.
+type serveBenchVariant struct {
+	Name string `json:"name"`
+	// Shards and LockedPick describe the configuration under test.
+	Shards     int              `json:"cache_shards"`
+	LockedPick bool             `json:"locked_pick_path"`
+	Cells      []serveBenchCell `json:"cells"`
+	HitCells   []serveBenchCell `json:"hit_cells"`
+}
+
+// serveBenchReport is the JSON body of BENCH_serve.json: the saturation
+// benchmark of the full serve path (dispatcher pick -> kill-switch node ->
+// httpserver -> cache) under a Zipf page mix with hit/miss/stale traffic
+// classes, for the pre-overhaul baseline (single cache lock, mutex pick
+// path with live per-member load probes, per-request failover map) and the
+// overhauled path (striped cache, RCU snapshot pick, zero-alloc hit path)
+// in the same process and run.
+type serveBenchReport struct {
+	Seed       int64  `json:"seed"`
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	Nodes      int    `json:"nodes"`
+	HotPages   int    `json:"hot_pages"`
+	Workers    int    `json:"workers"`
+	RequestsPC int64  `json:"requests_per_cell"`
+
+	Baseline   serveBenchVariant `json:"baseline"`
+	Overhauled serveBenchVariant `json:"overhauled"`
+
+	// SpeedupAtMax is overhauled/baseline pure-hit throughput at the widest
+	// GOMAXPROCS cell — the headline number the regression guard tracks.
+	SpeedupAtMax float64 `json:"speedup_vs_baseline_at_max_procs"`
+	// MixedSpeedupAtMax is the same ratio under the mixed workload, where
+	// the (identical-cost) miss renders dilute the serve-path difference.
+	MixedSpeedupAtMax float64 `json:"mixed_speedup_vs_baseline_at_max_procs"`
+	// HitAllocsPerOp is the overhauled variant's worst pure-hit allocs/op
+	// across cells; the zero-alloc hit path keeps it at zero.
+	HitAllocsPerOp float64 `json:"overhauled_hit_allocs_per_op_worst"`
+}
+
+func (r serveBenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+const (
+	sbHotPages   = 256 // Zipf-distributed always-cached pages (hit class)
+	sbVolatile   = 32  // pages invalidated before ~half their requests (miss class)
+	sbStale      = 8   // pages whose renders collide on a tiny limiter (stale class)
+	sbWorkers    = 32  // more in-flight requests than nodes, so saturation is real
+	sbFrames     = 2   // two SP2 frames of 8 uniprocessors (paper sites ran 3-4)
+	sbNodesPer   = 8
+	sbNodes      = sbFrames * sbNodesPer
+	sbPerCell    = 120_000
+	sbRenderWork = 400 // xorshift iterations per render (persistent server program cost)
+)
+
+// sbStack is one serving complex wired for the benchmark, with the request
+// paths pre-built so the measured loop contains no formatting of its own.
+type sbStack struct {
+	cx         *cluster.Complex
+	hotPaths   []string
+	volPaths   []string
+	stalePaths []string
+}
+
+func buildServeStack(name string, shards int, lockedPick bool) *sbStack {
+	gen := func(key cache.Key, version int64) (*cache.Object, error) {
+		// Model the persistent server program: bounded CPU work, no I/O.
+		// Stale-class pages render slowly (a complex query), which is what
+		// makes their renders collide on the single slot and degrade.
+		if strings.HasPrefix(string(key), "/en/stale/") {
+			time.Sleep(100 * time.Microsecond)
+		}
+		x := uint64(88172645463325252)
+		for i := 0; i < sbRenderWork; i++ {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+		}
+		body := fmt.Sprintf("<html>%s v%d %d</html>", key, version, x&1)
+		return &cache.Object{Key: key, Value: []byte(body), Version: version}, nil
+	}
+	cfg := cluster.Config{
+		Name:          name,
+		Frames:        sbFrames,
+		NodesPerFrame: sbNodesPer,
+		Generator:     gen,
+		Version:       func() int64 { return 1 },
+		CacheOptions:  []cache.Option{cache.WithShards(shards), cache.WithStaleRetention()},
+		NodeOptions: func(string) []httpserver.Option {
+			// One render slot, no queue: concurrent misses on the same node
+			// collide and degrade to bounded staleness — the stale class.
+			return []httpserver.Option{httpserver.WithOverload(
+				overload.NewLimiter(overload.Config{MaxConcurrent: 1, MaxQueue: -1}),
+				time.Minute)}
+		},
+	}
+	var dOpts []dispatch.Option
+	if lockedPick {
+		dOpts = append(dOpts, dispatch.WithLockedPickPath())
+	}
+	cx := cluster.NewComplex(cfg, cluster.WithDispatcherOptions(dOpts...))
+	s := &sbStack{cx: cx}
+	for i := 0; i < sbHotPages; i++ {
+		s.hotPaths = append(s.hotPaths, fmt.Sprintf("/en/hot/%03d", i))
+	}
+	for i := 0; i < sbVolatile; i++ {
+		s.volPaths = append(s.volPaths, fmt.Sprintf("/en/vol/%d", i))
+	}
+	for i := 0; i < sbStale; i++ {
+		s.stalePaths = append(s.stalePaths, fmt.Sprintf("/en/stale/%d", i))
+	}
+	return s
+}
+
+// prime renders the hit-class and stale-class pages into every node cache
+// (the trigger monitor's prerender, compressed), and invalidates the
+// stale-class pages so their retained copies are the only fallback.
+func (s *sbStack) prime() {
+	for i, p := range s.hotPaths {
+		s.cx.Caches.BroadcastPut(&cache.Object{
+			Key: cache.Key(p), Value: []byte(fmt.Sprintf("<html>hot %03d</html>", i)), Version: 1})
+	}
+	for i, p := range s.stalePaths {
+		s.cx.Caches.BroadcastPut(&cache.Object{
+			Key: cache.Key(p), Value: []byte(fmt.Sprintf("<html>stale %d</html>", i)), Version: 1})
+		s.cx.Caches.BroadcastInvalidate(cache.Key(p))
+	}
+}
+
+// runServeCell measures one configuration best-of-N: the repetition with
+// the highest throughput is reported, which on a shared host estimates the
+// least-interference run (the standard defence against co-tenant noise).
+// pureHit restricts the workload to the always-cached Zipf set, isolating
+// the hit path.
+func runServeCell(s *sbStack, seed int64, procs int, pureHit bool) serveBenchCell {
+	const reps = 3
+	var best serveBenchCell
+	for r := 0; r < reps; r++ {
+		c := runServeCellOnce(s, seed+int64(r)*7919, procs, pureHit)
+		if c.Throughput > best.Throughput {
+			best = c
+		}
+	}
+	return best
+}
+
+func runServeCellOnce(s *sbStack, seed int64, procs int, pureHit bool) serveBenchCell {
+	prev := runtime.GOMAXPROCS(procs)
+	defer runtime.GOMAXPROCS(prev)
+
+	var (
+		issued  atomic.Int64
+		hits    atomic.Int64
+		misses  atomic.Int64
+		stales  atomic.Int64
+		sheds   atomic.Int64
+		version atomic.Int64
+	)
+	version.Store(1)
+
+	// Latency samples: every 16th request, into preallocated per-worker
+	// slabs merged after the run.
+	samples := make([][]float64, sbWorkers)
+	for i := range samples {
+		samples[i] = make([]float64, 0, sbPerCell/(16*sbWorkers)+8)
+	}
+
+	runtime.GC()
+	var msBefore runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
+	start := time.Now()
+
+	var wg sync.WaitGroup
+	for w := 0; w < sbWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(w)))
+			zipf := rand.NewZipf(rng, 1.1, 1, sbHotPages-1)
+			for {
+				n := issued.Add(1)
+				if n > sbPerCell {
+					return
+				}
+				var path string
+				mix := 0
+				if !pureHit {
+					mix = rng.Intn(100)
+				}
+				switch {
+				case mix < 90: // hit class: Zipf over the hot set
+					path = s.hotPaths[zipf.Uint64()]
+				case mix < 98: // miss class: invalidate-then-serve half the time
+					path = s.volPaths[rng.Intn(sbVolatile)]
+					if rng.Intn(2) == 0 {
+						version.Add(1)
+						s.cx.Caches.BroadcastInvalidate(cache.Key(path))
+					}
+				default: // stale class: a slow render behind a 1-slot
+					// limiter; concurrent requests degrade to the retained
+					// copy (bounded staleness).
+					path = s.stalePaths[rng.Intn(sbStale)]
+					if rng.Intn(4) == 0 {
+						s.cx.Caches.BroadcastInvalidate(cache.Key(path))
+					}
+				}
+				sample := n%16 == 0
+				var t0 time.Time
+				if sample {
+					t0 = time.Now()
+				}
+				_, outcome, _ := s.cx.Serve(path)
+				if sample {
+					samples[w] = append(samples[w], float64(time.Since(t0).Nanoseconds())/1e3)
+				}
+				switch outcome {
+				case httpserver.OutcomeHit:
+					hits.Add(1)
+				case httpserver.OutcomeMiss:
+					misses.Add(1)
+				case httpserver.OutcomeStale:
+					stales.Add(1)
+				case httpserver.OutcomeShed:
+					sheds.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	var msAfter runtime.MemStats
+	runtime.ReadMemStats(&msAfter)
+
+	var all []float64
+	for _, s := range samples {
+		all = append(all, s...)
+	}
+	sort.Float64s(all)
+	pct := func(p float64) float64 {
+		if len(all) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(all)-1))
+		return all[i]
+	}
+	total := hits.Load() + misses.Load() + stales.Load() + sheds.Load()
+	cell := serveBenchCell{
+		GOMAXPROCS: procs,
+		Requests:   total,
+		WallMs:     float64(wall.Nanoseconds()) / 1e6,
+		Throughput: float64(total) / wall.Seconds(),
+		P50Us:      pct(0.50),
+		P99Us:      pct(0.99),
+		AllocsPerW: float64(msAfter.Mallocs-msBefore.Mallocs) / float64(total),
+		Hits:       hits.Load(),
+		Misses:     misses.Load(),
+		Stales:     stales.Load(),
+		Sheds:      sheds.Load(),
+	}
+	if total > 0 {
+		cell.HitRate = float64(hits.Load()) / float64(total)
+	}
+	return cell
+}
+
+func runServeVariant(name string, seed int64, shards int, lockedPick bool, procsLadder []int) serveBenchVariant {
+	v := serveBenchVariant{Name: name, Shards: shards, LockedPick: lockedPick}
+	s := buildServeStack(name, shards, lockedPick)
+	s.prime()
+	// Warm the path (memoized headers, limiter state) before measuring.
+	for i := 0; i < 2000; i++ {
+		s.cx.Serve(s.hotPaths[i%sbHotPages])
+	}
+	for _, p := range procsLadder {
+		cell := runServeCell(s, seed+int64(p), p, false)
+		if len(v.Cells) > 0 && v.Cells[0].GOMAXPROCS == 1 && v.Cells[0].Throughput > 0 {
+			cell.ScalingEfficiency = (cell.Throughput / v.Cells[0].Throughput) / float64(p)
+		} else if p == 1 {
+			cell.ScalingEfficiency = 1
+		}
+		v.Cells = append(v.Cells, cell)
+	}
+	for _, p := range procsLadder {
+		cell := runServeCell(s, seed+100+int64(p), p, true)
+		if len(v.HitCells) > 0 && v.HitCells[0].GOMAXPROCS == 1 && v.HitCells[0].Throughput > 0 {
+			cell.ScalingEfficiency = (cell.Throughput / v.HitCells[0].Throughput) / float64(p)
+		} else if p == 1 {
+			cell.ScalingEfficiency = 1
+		}
+		v.HitCells = append(v.HitCells, cell)
+	}
+	return v
+}
+
+// runServeBench measures both serve-path variants across the GOMAXPROCS
+// ladder in one process and returns the report.
+func runServeBench(seed int64) (serveBenchReport, error) {
+	ladder := []int{1, 2, 4, 8}
+	rep := serveBenchReport{
+		Seed:       seed,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		Nodes:      sbNodes,
+		HotPages:   sbHotPages,
+		Workers:    sbWorkers,
+		RequestsPC: sbPerCell,
+	}
+	rep.Baseline = runServeVariant("baseline-locked-single-shard", seed, 1, true, ladder)
+	rep.Overhauled = runServeVariant("striped-rcu-zeroalloc", seed, 64, false, ladder)
+
+	bHit := rep.Baseline.HitCells[len(rep.Baseline.HitCells)-1]
+	oHit := rep.Overhauled.HitCells[len(rep.Overhauled.HitCells)-1]
+	if bHit.Throughput > 0 {
+		rep.SpeedupAtMax = oHit.Throughput / bHit.Throughput
+	}
+	bLast := rep.Baseline.Cells[len(rep.Baseline.Cells)-1]
+	oLast := rep.Overhauled.Cells[len(rep.Overhauled.Cells)-1]
+	if bLast.Throughput > 0 {
+		rep.MixedSpeedupAtMax = oLast.Throughput / bLast.Throughput
+	}
+	for _, c := range rep.Overhauled.HitCells {
+		if c.AllocsPerW > rep.HitAllocsPerOp {
+			rep.HitAllocsPerOp = c.AllocsPerW
+		}
+	}
+	if bHit.Requests == 0 || oHit.Requests == 0 || bLast.Requests == 0 || oLast.Requests == 0 {
+		return rep, fmt.Errorf("serve-bench: degenerate run")
+	}
+	return rep, nil
+}

@@ -8,18 +8,36 @@
 // behaviour that achieved hit rates near 100%, because hot pages are never
 // absent from the cache).
 //
+// # Striping
+//
+// The cache is lock-striped: keys hash onto N independent shards, each with
+// its own mutex, item table, and stale side-table, so concurrent hits on
+// different pages never contend on a shared lock. Per-shard counters are
+// plain integers mutated under the shard lock and folded into totals at
+// Stats()/RegisterMetrics read time — the hit path pays no shared atomic
+// traffic at all. Byte accounting is the one global: an atomic gauge keeps
+// the exact aggregate (and its high-water mark, the paper's "~175 MB for a
+// single copy of all cached objects" figure).
+//
 // The cache keeps byte-accounting with an LRU eviction policy. At Olympic
 // scale the paper observes that "the system never had to apply a cache
-// replacement algorithm" (all dynamic pages fit in ~175 MB); the eviction
+// replacement algorithm" (all dynamic pages fit in memory); the eviction
 // machinery exists so that the claim is a measured property, not an
 // assumption, and Stats.Evictions lets experiments verify it stayed zero.
+// A byte-bounded cache therefore defaults to a single shard, preserving the
+// exact global LRU order; the unbounded serving configuration — the one the
+// paper ran — defaults to 64 shards and keeps no LRU lists at all, because
+// nothing will ever be evicted. A bounded cache explicitly configured with
+// WithShards splits the budget evenly across shards (per-shard LRU).
 package cache
 
 import (
 	"container/list"
+	"hash/maphash"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dupserve/internal/stats"
@@ -42,6 +60,50 @@ type Object struct {
 	// StoredAt is the (possibly simulated) time the object entered the
 	// cache.
 	StoredAt time.Time
+
+	// hdr memoizes the pre-serialized response headers for the zero-alloc
+	// HTTP hit path; see ResponseHeaders. Never copied by the cache (the
+	// group's broadcast copies share Value but re-derive hdr lazily).
+	hdr atomic.Pointer[ObjectHeaders]
+}
+
+// ObjectHeaders is the pre-serialized response-header material for an
+// object: the strings the HTTP layer would otherwise format per request,
+// plus ready-made single-value header slices that can be assigned into an
+// http.Header without allocating. Built once per object, on first serve.
+type ObjectHeaders struct {
+	ETag        string
+	Version     string
+	ETagV       []string // []string{ETag}
+	VersionV    []string // []string{Version}
+	ContentType []string // []string{obj.ContentType}; nil when empty
+}
+
+// ResponseHeaders returns the object's memoized pre-serialized headers,
+// building them with build on first call. Concurrent first calls may both
+// build; one wins, and both results are equivalent because the object is
+// immutable.
+func (o *Object) ResponseHeaders(build func(*Object) *ObjectHeaders) *ObjectHeaders {
+	if h := o.hdr.Load(); h != nil {
+		return h
+	}
+	h := build(o)
+	o.hdr.Store(h)
+	return h
+}
+
+// Copy returns a new Object sharing the (immutable) Value bytes but with
+// its own metadata and no memoized headers. Object cannot be copied by
+// value (the header memo is an atomic); every fan-out that needs a
+// per-cache Object goes through Copy.
+func (o *Object) Copy() *Object {
+	return &Object{
+		Key:         o.Key,
+		Value:       o.Value,
+		ContentType: o.ContentType,
+		Version:     o.Version,
+		StoredAt:    o.StoredAt,
+	}
 }
 
 // Size returns the accounted byte size of the object.
@@ -51,7 +113,7 @@ func (o *Object) Size() int64 {
 
 type entry struct {
 	obj  *Object
-	el   *list.Element
+	el   *list.Element // nil in unbounded caches (no LRU bookkeeping)
 	hits int64
 }
 
@@ -85,37 +147,55 @@ func (s Stats) HitRate() float64 {
 	return float64(s.Hits) / float64(total)
 }
 
-// Cache is a concurrency-safe object cache with optional byte-bounded LRU
-// eviction. The zero value is not usable; call New.
-type Cache struct {
-	name     string
-	maxBytes int64 // 0 means unbounded
-	now      func() time.Time
-
+// shard is one stripe: an independent item table with its own lock, stale
+// side-table, LRU list (bounded caches only), and plain-integer counters
+// folded at snapshot time. Padded to a cache line so neighbouring shards'
+// locks never false-share.
+type shard struct {
 	mu    sync.Mutex
 	items map[Key]*entry
-	lru   *list.List // front = most recently used; values are Key
+	lru   *list.List // nil when the cache is unbounded
 	// stale holds the last value of invalidated entries when stale
 	// retention is on, for overload fallback (GetStale). At most one copy
 	// per key; replaced entries and Clear drop it.
 	stale map[Key]*staleEntry
-	// retainStale enables the stale side-table.
+
+	// Counters; mutated under mu, folded at Stats() time.
+	hits          int64
+	misses        int64
+	puts          int64
+	updates       int64
+	invalidations int64
+	evictions     int64
+	bytes         int64 // shard-local byte accounting (eviction budget)
+
+	_ [24]byte // pad to a cache-line multiple
+}
+
+// Cache is a concurrency-safe, lock-striped object cache with optional
+// byte-bounded LRU eviction. The zero value is not usable; call New.
+type Cache struct {
+	name        string
+	maxBytes    int64 // 0 means unbounded
+	perShard    int64 // per-shard byte budget (maxBytes/len(shards))
+	now         func() time.Time
+	seed        maphash.Seed
+	shards      []shard
+	mask        uint64
+	nshards     int // requested via WithShards; 0 = default
 	retainStale bool
 
-	hits          stats.Counter
-	misses        stats.Counter
-	puts          stats.Counter
-	updates       stats.Counter
-	invalidations stats.Counter
-	evictions     stats.Counter
-	bytes         stats.Gauge
+	bytes stats.Gauge // exact aggregate bytes + high-water mark
 }
 
 // Option configures a Cache.
 type Option func(*Cache)
 
 // WithMaxBytes bounds the cache to maxBytes, evicting least-recently-used
-// entries when a Put would exceed it. maxBytes <= 0 means unbounded.
+// entries when a Put would exceed it. maxBytes <= 0 means unbounded. A
+// bounded cache defaults to a single shard so the LRU order stays global;
+// combine with WithShards to trade exact global LRU for concurrency (the
+// budget then splits evenly across shards).
 func WithMaxBytes(maxBytes int64) Option {
 	return func(c *Cache) { c.maxBytes = maxBytes }
 }
@@ -136,22 +216,83 @@ func WithStaleRetention() Option {
 	return func(c *Cache) { c.retainStale = true }
 }
 
+// WithShards sets the stripe count, rounded up to a power of two and
+// clamped to [1, 4096]. n = 1 reproduces the single-lock layout exactly
+// (the pre-stripe baseline the serve benchmark compares against).
+func WithShards(n int) Option {
+	return func(c *Cache) { c.nshards = n }
+}
+
+// DefaultShards is the stripe count of an unbounded cache.
+const DefaultShards = 64
+
 // New returns an empty cache. name appears in diagnostics only.
 func New(name string, opts ...Option) *Cache {
 	c := &Cache{
-		name:  name,
-		now:   time.Now,
-		items: make(map[Key]*entry),
-		lru:   list.New(),
+		name: name,
+		now:  time.Now,
+		seed: maphash.MakeSeed(),
 	}
 	for _, o := range opts {
 		o(c)
 	}
-	if c.retainStale {
-		c.stale = make(map[Key]*staleEntry)
+	n := c.nshards
+	if n <= 0 {
+		if c.maxBytes > 0 {
+			n = 1 // bounded: keep the exact global LRU
+		} else {
+			n = DefaultShards
+		}
+	}
+	if n > 4096 {
+		n = 4096
+	}
+	// Round up to a power of two so shard selection is a mask.
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	c.shards = make([]shard, p)
+	c.mask = uint64(p - 1)
+	if c.maxBytes > 0 {
+		c.perShard = c.maxBytes / int64(p)
+		if c.perShard < 1 {
+			c.perShard = 1
+		}
+	}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.items = make(map[Key]*entry)
+		if c.maxBytes > 0 {
+			sh.lru = list.New()
+		}
+		if c.retainStale {
+			sh.stale = make(map[Key]*staleEntry)
+		}
 	}
 	return c
 }
+
+// shardOf returns the stripe owning key. Single-shard caches skip the hash
+// entirely — the pre-stripe baseline pays nothing for the striping seam.
+func (c *Cache) shardOf(key Key) *shard {
+	if c.mask == 0 {
+		return &c.shards[0]
+	}
+	return &c.shards[maphash.String(c.seed, string(key))&c.mask]
+}
+
+// shardIndex exposes the stripe assignment for tests (stability and
+// uniformity properties).
+func (c *Cache) shardIndex(key Key) int {
+	if c.mask == 0 {
+		return 0
+	}
+	return int(maphash.String(c.seed, string(key)) & c.mask)
+}
+
+// ShardCount returns the number of stripes.
+func (c *Cache) ShardCount() int { return len(c.shards) }
 
 // Name returns the cache's diagnostic name.
 func (c *Cache) Name() string { return c.name }
@@ -159,18 +300,21 @@ func (c *Cache) Name() string { return c.name }
 // Get returns the cached object for key, recording a hit or miss. The
 // returned object must be treated as read-only.
 func (c *Cache) Get(key Key) (*Object, bool) {
-	c.mu.Lock()
-	e, ok := c.items[key]
+	sh := c.shardOf(key)
+	sh.mu.Lock()
+	e, ok := sh.items[key]
 	if ok {
-		c.lru.MoveToFront(e.el)
+		if sh.lru != nil {
+			sh.lru.MoveToFront(e.el)
+		}
 		e.hits++
+		sh.hits++
 		obj := e.obj
-		c.mu.Unlock()
-		c.hits.Inc()
+		sh.mu.Unlock()
 		return obj, true
 	}
-	c.mu.Unlock()
-	c.misses.Inc()
+	sh.misses++
+	sh.mu.Unlock()
 	return nil, false
 }
 
@@ -179,9 +323,10 @@ func (c *Cache) Get(key Key) (*Object, bool) {
 // Invalidate resets it). The hybrid propagation policy uses it as its
 // hot-page signal.
 func (c *Cache) HitCount(key Key) int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if e, ok := c.items[key]; ok {
+	sh := c.shardOf(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if e, ok := sh.items[key]; ok {
 		return e.hits
 	}
 	return 0
@@ -191,9 +336,10 @@ func (c *Cache) HitCount(key Key) int64 {
 // counters. Monitoring code uses it so that diagnostics do not perturb the
 // replacement state.
 func (c *Cache) Peek(key Key) (*Object, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	e, ok := c.items[key]
+	sh := c.shardOf(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.items[key]
 	if !ok {
 		return nil, false
 	}
@@ -203,9 +349,10 @@ func (c *Cache) Peek(key Key) (*Object, bool) {
 // Contains reports whether key is cached, without touching counters or LRU
 // order.
 func (c *Cache) Contains(key Key) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	_, ok := c.items[key]
+	sh := c.shardOf(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	_, ok := sh.items[key]
 	return ok
 }
 
@@ -217,46 +364,57 @@ func (c *Cache) Put(obj *Object) bool {
 	if obj.StoredAt.IsZero() {
 		obj.StoredAt = c.now()
 	}
-	c.mu.Lock()
+	sh := c.shardOf(obj.Key)
+	sh.mu.Lock()
+	var delta int64
 	var replaced bool
-	if e, ok := c.items[obj.Key]; ok {
-		c.bytes.Add(obj.Size() - e.obj.Size())
+	if e, ok := sh.items[obj.Key]; ok {
+		delta = obj.Size() - e.obj.Size()
 		e.obj = obj
-		c.lru.MoveToFront(e.el)
+		if sh.lru != nil {
+			sh.lru.MoveToFront(e.el)
+		}
 		replaced = true
 	} else {
-		el := c.lru.PushFront(obj.Key)
-		c.items[obj.Key] = &entry{obj: obj, el: el}
-		c.bytes.Add(obj.Size())
+		e := &entry{obj: obj}
+		if sh.lru != nil {
+			e.el = sh.lru.PushFront(obj.Key)
+		}
+		sh.items[obj.Key] = e
+		delta = obj.Size()
 	}
-	if c.retainStale {
-		delete(c.stale, obj.Key) // fresh value supersedes any retained copy
+	if sh.stale != nil {
+		delete(sh.stale, obj.Key) // fresh value supersedes any retained copy
 	}
-	evicted := c.evictLocked()
-	c.mu.Unlock()
-
-	c.puts.Inc()
+	sh.bytes += delta
+	evicted := c.evictLocked(sh, &delta)
+	sh.puts++
 	if replaced {
-		c.updates.Inc()
+		sh.updates++
 	}
-	c.evictions.Add(int64(evicted))
+	sh.evictions += int64(evicted)
+	sh.mu.Unlock()
+
+	c.bytes.Add(delta)
 	return replaced
 }
 
-// evictLocked drops LRU entries until the byte budget is met. Returns the
-// number of entries evicted.
-func (c *Cache) evictLocked() int {
+// evictLocked drops LRU entries until the shard's byte budget is met,
+// folding the freed bytes into *delta. Returns the number of entries
+// evicted. Caller holds sh.mu.
+func (c *Cache) evictLocked(sh *shard, delta *int64) int {
 	if c.maxBytes <= 0 {
 		return 0
 	}
 	n := 0
-	for c.bytes.Value() > c.maxBytes && c.lru.Len() > 0 {
-		back := c.lru.Back()
+	for sh.bytes > c.perShard && sh.lru.Len() > 0 {
+		back := sh.lru.Back()
 		key := back.Value.(Key)
-		e := c.items[key]
-		c.lru.Remove(back)
-		delete(c.items, key)
-		c.bytes.Add(-e.obj.Size())
+		e := sh.items[key]
+		sh.lru.Remove(back)
+		delete(sh.items, key)
+		sh.bytes -= e.obj.Size()
+		*delta -= e.obj.Size()
 		n++
 	}
 	return n
@@ -266,33 +424,40 @@ func (c *Cache) evictLocked() int {
 // With stale retention on, the removed value stays reachable via GetStale
 // until a fresh Put or its freshness budget expires.
 func (c *Cache) Invalidate(key Key) bool {
-	c.mu.Lock()
-	e, ok := c.items[key]
+	sh := c.shardOf(key)
+	sh.mu.Lock()
+	e, ok := sh.items[key]
+	var size int64
 	if ok {
-		c.lru.Remove(e.el)
-		delete(c.items, key)
-		c.bytes.Add(-e.obj.Size())
-		c.retainLocked(e.obj)
+		if sh.lru != nil {
+			sh.lru.Remove(e.el)
+		}
+		delete(sh.items, key)
+		size = e.obj.Size()
+		sh.bytes -= size
+		sh.invalidations++
+		c.retainLocked(sh, e.obj)
 	}
-	c.mu.Unlock()
+	sh.mu.Unlock()
 	if ok {
-		c.invalidations.Inc()
+		c.bytes.Add(-size)
 	}
 	return ok
 }
 
 // retainLocked moves an invalidated object into the stale side-table when
-// retention is enabled. Caller holds mu. Repeated invalidations keep the
-// earliest since-time: the page has been continuously stale since the first
-// update it missed, and the freshness budget must count from there.
-func (c *Cache) retainLocked(obj *Object) {
-	if !c.retainStale {
+// retention is enabled. Caller holds the shard's mu. Repeated invalidations
+// keep the earliest since-time: the page has been continuously stale since
+// the first update it missed, and the freshness budget must count from
+// there.
+func (c *Cache) retainLocked(sh *shard, obj *Object) {
+	if sh.stale == nil {
 		return
 	}
-	if _, already := c.stale[obj.Key]; already {
+	if _, already := sh.stale[obj.Key]; already {
 		return
 	}
-	c.stale[obj.Key] = &staleEntry{obj: obj, since: c.now()}
+	sh.stale[obj.Key] = &staleEntry{obj: obj, since: c.now()}
 }
 
 // GetStale returns the retained copy of an invalidated entry, provided it
@@ -303,15 +468,16 @@ func (c *Cache) retainLocked(obj *Object) {
 // neither the hit/miss counters nor LRU order; fresh-path behaviour is
 // unchanged.
 func (c *Cache) GetStale(key Key, maxAge time.Duration) (*Object, time.Duration, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	se, ok := c.stale[key]
+	sh := c.shardOf(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	se, ok := sh.stale[key]
 	if !ok {
 		return nil, 0, false
 	}
 	age := c.now().Sub(se.since)
 	if age > maxAge {
-		delete(c.stale, key)
+		delete(sh.stale, key)
 		return nil, 0, false
 	}
 	return se.obj, age, true
@@ -320,9 +486,14 @@ func (c *Cache) GetStale(key Key, maxAge time.Duration) (*Object, time.Duration,
 // StaleLen returns the number of retained stale copies (0 when retention is
 // off).
 func (c *Cache) StaleLen() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.stale)
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += len(sh.stale)
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // InvalidatePrefix removes every key with the given prefix and returns the
@@ -330,23 +501,33 @@ func (c *Cache) StaleLen() int {
 // database update, drop whole sections of the site ("all ski pages") rather
 // than computing the precise affected set.
 func (c *Cache) InvalidatePrefix(prefix string) int {
-	c.mu.Lock()
-	var victims []Key
-	for k := range c.items {
-		if strings.HasPrefix(string(k), prefix) {
-			victims = append(victims, k)
+	total := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		var victims []Key
+		for k := range sh.items {
+			if strings.HasPrefix(string(k), prefix) {
+				victims = append(victims, k)
+			}
 		}
+		var freed int64
+		for _, k := range victims {
+			e := sh.items[k]
+			if sh.lru != nil {
+				sh.lru.Remove(e.el)
+			}
+			delete(sh.items, k)
+			freed += e.obj.Size()
+			c.retainLocked(sh, e.obj)
+		}
+		sh.bytes -= freed
+		sh.invalidations += int64(len(victims))
+		sh.mu.Unlock()
+		c.bytes.Add(-freed)
+		total += len(victims)
 	}
-	for _, k := range victims {
-		e := c.items[k]
-		c.lru.Remove(e.el)
-		delete(c.items, k)
-		c.bytes.Add(-e.obj.Size())
-		c.retainLocked(e.obj)
-	}
-	c.mu.Unlock()
-	c.invalidations.Add(int64(len(victims)))
-	return len(victims)
+	return total
 }
 
 // ApplyPut implements the DUP store contract (core.Store) directly on a
@@ -372,24 +553,38 @@ func (c *Cache) ApplyInvalidatePrefix(prefix string) int {
 // copies are dropped too: Clear models losing the node's memory-resident
 // state, and a rebooted node has nothing to degrade to.
 func (c *Cache) Clear() int {
-	c.mu.Lock()
-	n := len(c.items)
-	c.items = make(map[Key]*entry)
-	c.lru.Init()
-	if c.retainStale {
-		c.stale = make(map[Key]*staleEntry)
+	total := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n := len(sh.items)
+		freed := sh.bytes
+		sh.items = make(map[Key]*entry)
+		if sh.lru != nil {
+			sh.lru.Init()
+		}
+		if sh.stale != nil {
+			sh.stale = make(map[Key]*staleEntry)
+		}
+		sh.bytes = 0
+		sh.invalidations += int64(n)
+		sh.mu.Unlock()
+		c.bytes.Add(-freed)
+		total += n
 	}
-	c.bytes.Add(-c.bytes.Value())
-	c.mu.Unlock()
-	c.invalidations.Add(int64(n))
-	return n
+	return total
 }
 
 // Len returns the number of cached entries.
 func (c *Cache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.items)
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += len(sh.items)
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // Bytes returns the current accounted size of the cache.
@@ -402,49 +597,81 @@ func (c *Cache) PeakBytes() int64 { return c.bytes.Max() }
 
 // Keys returns all cached keys, sorted.
 func (c *Cache) Keys() []Key {
-	c.mu.Lock()
-	out := make([]Key, 0, len(c.items))
-	for k := range c.items {
-		out = append(out, k)
+	var out []Key
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for k := range sh.items {
+			out = append(out, k)
+		}
+		sh.mu.Unlock()
 	}
-	c.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
-// Stats returns a snapshot of the counters.
-func (c *Cache) Stats() Stats {
-	c.mu.Lock()
-	items := len(c.items)
-	c.mu.Unlock()
-	return Stats{
-		Hits:          c.hits.Value(),
-		Misses:        c.misses.Value(),
-		Puts:          c.puts.Value(),
-		Updates:       c.updates.Value(),
-		Invalidations: c.invalidations.Value(),
-		Evictions:     c.evictions.Value(),
-		Items:         items,
-		Bytes:         c.bytes.Value(),
-		PeakBytes:     c.bytes.Max(),
+// fold sums the per-shard counters into a Stats snapshot. Each shard is
+// locked briefly in turn, so the snapshot is per-shard consistent (the
+// cross-shard total may interleave with concurrent traffic, exactly like
+// reading a set of independent atomics).
+func (c *Cache) fold() Stats {
+	var s Stats
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		s.Hits += sh.hits
+		s.Misses += sh.misses
+		s.Puts += sh.puts
+		s.Updates += sh.updates
+		s.Invalidations += sh.invalidations
+		s.Evictions += sh.evictions
+		s.Items += len(sh.items)
+		sh.mu.Unlock()
+	}
+	s.Bytes = c.bytes.Value()
+	s.PeakBytes = c.bytes.Max()
+	return s
+}
+
+// Stats returns a snapshot of the counters, folded across shards.
+func (c *Cache) Stats() Stats { return c.fold() }
+
+// counterFold returns a fold of one per-shard counter for metric
+// registration.
+func (c *Cache) counterFold(pick func(*shard) int64) func() int64 {
+	return func() int64 {
+		var n int64
+		for i := range c.shards {
+			sh := &c.shards[i]
+			sh.mu.Lock()
+			n += pick(sh)
+			sh.mu.Unlock()
+		}
+		return n
 	}
 }
 
 // RegisterMetrics publishes the cache's counters into a registry under a
 // node label (plus any extra labels), the thin adapter replacing ad-hoc
 // Stats polling. Counter families are shared across caches; each cache is
-// one labeled series.
+// one labeled series, folded from the shards at scrape time.
 func (c *Cache) RegisterMetrics(reg *stats.Registry, extra stats.Labels) {
 	labels := stats.Labels{"node": c.name}
 	for k, v := range extra {
 		labels[k] = v
 	}
-	reg.RegisterCounter("cache_hits_total", "cache lookups served", labels, &c.hits)
-	reg.RegisterCounter("cache_misses_total", "cache lookups that missed", labels, &c.misses)
-	reg.RegisterCounter("cache_puts_total", "objects stored", labels, &c.puts)
-	reg.RegisterCounter("cache_updates_total", "puts that replaced an entry (update-in-place)", labels, &c.updates)
-	reg.RegisterCounter("cache_invalidations_total", "entries invalidated", labels, &c.invalidations)
-	reg.RegisterCounter("cache_evictions_total", "entries evicted by the LRU", labels, &c.evictions)
+	reg.RegisterCounterFunc("cache_hits_total", "cache lookups served", labels,
+		c.counterFold(func(sh *shard) int64 { return sh.hits }))
+	reg.RegisterCounterFunc("cache_misses_total", "cache lookups that missed", labels,
+		c.counterFold(func(sh *shard) int64 { return sh.misses }))
+	reg.RegisterCounterFunc("cache_puts_total", "objects stored", labels,
+		c.counterFold(func(sh *shard) int64 { return sh.puts }))
+	reg.RegisterCounterFunc("cache_updates_total", "puts that replaced an entry (update-in-place)", labels,
+		c.counterFold(func(sh *shard) int64 { return sh.updates }))
+	reg.RegisterCounterFunc("cache_invalidations_total", "entries invalidated", labels,
+		c.counterFold(func(sh *shard) int64 { return sh.invalidations }))
+	reg.RegisterCounterFunc("cache_evictions_total", "entries evicted by the LRU", labels,
+		c.counterFold(func(sh *shard) int64 { return sh.evictions }))
 	reg.RegisterGauge("cache_bytes", "accounted bytes cached", labels, &c.bytes)
 	reg.RegisterFunc("cache_items", "entries cached", labels,
 		func() float64 { return float64(c.Len()) })
@@ -455,10 +682,15 @@ func (c *Cache) RegisterMetrics(reg *stats.Registry, extra stats.Labels) {
 // ResetCounters zeroes hit/miss/put/invalidation/eviction counters while
 // leaving contents intact. Experiments use it to discard warm-up effects.
 func (c *Cache) ResetCounters() {
-	c.hits.Reset()
-	c.misses.Reset()
-	c.puts.Reset()
-	c.updates.Reset()
-	c.invalidations.Reset()
-	c.evictions.Reset()
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		sh.hits = 0
+		sh.misses = 0
+		sh.puts = 0
+		sh.updates = 0
+		sh.invalidations = 0
+		sh.evictions = 0
+		sh.mu.Unlock()
+	}
 }

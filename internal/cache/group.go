@@ -170,13 +170,13 @@ func (g *Group) BroadcastPut(obj *Object) int {
 	for _, c := range members {
 		// Each cache gets its own Object so StoredAt/Version remain
 		// per-cache consistent even if a member applies it later.
-		o := *obj
+		o := obj.Copy()
 		if hook == nil {
-			c.Put(&o)
+			c.Put(o)
 			fresh++
 			continue
 		}
-		if g.pushWithRetry(hook, retry, downgrade, c, &o) {
+		if g.pushWithRetry(hook, retry, downgrade, c, o) {
 			fresh++
 		}
 	}

@@ -66,19 +66,38 @@ type WarmupFunc func() error
 type Node struct {
 	name  string
 	inner dispatch.Node
-	cache *cache.Cache // cleared on failure (memory-resident cache)
-	state atomic.Int32 // NodeState
-	epoch atomic.Int64 // bumped on every Fail; in-flight warmups abandon
+	// Optional inner interfaces, resolved once at construction so the serve
+	// hot path performs no per-request type assertions.
+	innerCtx  ctxServer
+	innerLoad loadSignaler
+	innerRdy  readyReporter
+	cache     *cache.Cache // cleared on failure (memory-resident cache)
+	state     atomic.Int32 // NodeState
+	epoch     atomic.Int64 // bumped on every Fail; in-flight warmups abandon
 
 	mu   sync.Mutex
 	warm WarmupFunc
 	hook func(name string, from, to NodeState)
 }
 
+// The optional interfaces a wrapped node may implement, mirrored here so
+// they can be pre-resolved at construction.
+type (
+	ctxServer interface {
+		ServeCtx(ctx context.Context, path string) (*cache.Object, httpserver.Outcome, error)
+	}
+	loadSignaler  interface{ LoadSignal() float64 }
+	readyReporter interface{ Ready() bool }
+)
+
 // NewNode wraps inner with a kill switch. c may be nil when the node's
 // cache should survive failures (e.g. a disk-backed store).
 func NewNode(name string, inner dispatch.Node, c *cache.Cache) *Node {
-	return &Node{name: name, inner: inner, cache: c}
+	n := &Node{name: name, inner: inner, cache: c}
+	n.innerCtx, _ = inner.(ctxServer)
+	n.innerLoad, _ = inner.(loadSignaler)
+	n.innerRdy, _ = inner.(readyReporter)
+	return n
 }
 
 // Name implements dispatch.Node.
@@ -98,10 +117,8 @@ func (n *Node) ServeCtx(ctx context.Context, path string) (*cache.Object, httpse
 	case NodeWarming:
 		return nil, httpserver.OutcomeError, fmt.Errorf("%w: %s", ErrNodeWarming, n.name)
 	}
-	if cs, ok := n.inner.(interface {
-		ServeCtx(context.Context, string) (*cache.Object, httpserver.Outcome, error)
-	}); ok {
-		return cs.ServeCtx(ctx, path)
+	if n.innerCtx != nil {
+		return n.innerCtx.ServeCtx(ctx, path)
 	}
 	return n.inner.Serve(path)
 }
@@ -222,8 +239,8 @@ func (n *Node) LoadSignal() float64 {
 	if NodeState(n.state.Load()) != NodeUp {
 		return 0
 	}
-	if ls, ok := n.inner.(interface{ LoadSignal() float64 }); ok {
-		return ls.LoadSignal()
+	if n.innerLoad != nil {
+		return n.innerLoad.LoadSignal()
 	}
 	return 0
 }
@@ -245,8 +262,8 @@ func (n *Node) Ready() bool {
 	if NodeState(n.state.Load()) != NodeUp {
 		return false
 	}
-	if rr, ok := n.inner.(interface{ Ready() bool }); ok {
-		return rr.Ready()
+	if n.innerRdy != nil {
+		return n.innerRdy.Ready()
 	}
 	return true
 }

@@ -128,7 +128,7 @@ func TestChainedComplexesReceiveViaSchaumburg(t *testing.T) {
 		c := cx.Cluster.Caches.Members()[0]
 		obj, ok := c.Peek("/en/news/n000")
 		if !ok || !strings.Contains(string(obj.Value), "Chained headline") {
-			t.Fatalf("%s cache = %v %q", name, ok, obj)
+			t.Fatalf("%s cache = %v %v", name, ok, obj)
 		}
 	}
 }

@@ -9,6 +9,20 @@
 // in flight fail over to the surviving nodes. That instant-eviction plus
 // retry behaviour is the bottom layer of the paper's "elegant degradation".
 //
+// # Pick-path concurrency
+//
+// Request routing is lock-free: the distribution list is an immutable
+// snapshot swapped atomically (RCU-style) whenever membership or probation
+// state changes. A pick reads the current snapshot, scans it with atomic
+// per-member counters (outstanding work, slow-start credit, cached load
+// signal), and never takes the dispatcher lock — so routing does not
+// serialize concurrent requests, and two requests never observe a torn
+// member list. The lock still guards the slow path: membership changes,
+// the probation state machine, and advisor sweeps. Each member's overload
+// signal is cached in the snapshot's atomics and refreshed when a request
+// completes on that member and on every advisor observation, so the pick
+// path never calls into a node's limiter.
+//
 // Dispatcher itself satisfies the Node interface, so dispatchers compose:
 // the routing layer treats a whole complex (one dispatcher over many
 // serving nodes) as a single node, mirroring Figure 19.
@@ -18,8 +32,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dupserve/internal/cache"
@@ -175,44 +191,112 @@ type StateChange struct {
 	Quarantine int
 }
 
-type member struct {
-	node        Node
-	weight      int // capacity multiplier (the ND weighted SMPs above UPs)
-	outstanding int
-	state       MemberState
-	served      int64
-	failures    int64
-	sheds       int64 // requests this node refused under overload
+// creditUnit is the fixed-point scale for slow-start credits and ramps
+// (1.0 == one full credit).
+const creditUnit = 1000
 
-	// Probation state machine (see HealthPolicy).
-	failStreak int     // consecutive bad observations while up/probation
-	okStreak   int     // consecutive good observations while down
-	ramp       float64 // traffic share in probation, (0,1]
-	credit     float64 // slow-start token bucket, accrued per pick
-	goodRun    int     // good observations since the last readmission
-	readmits   int     // times this member has been readmitted
-	flaps      int     // flap count (cleared by a clean run past FlapWindow)
-	quarantine int     // good observations still ignored before readmission
+// member is one pool entry. Routing-visible fields (outstanding, credit,
+// ramp, cached load, serve accounting) are atomics so the lock-free pick
+// path can read and update them; the probation state machine fields are
+// guarded by the dispatcher's mutex.
+type member struct {
+	node Node
+	cs   ctxServer    // pre-resolved ServeCtx, nil if unsupported
+	ls   loadSignaler // pre-resolved LoadSignal, nil if unsupported
+
+	weight    int          // capacity multiplier (the ND weighted SMPs above UPs)
+	invWeight float64      // 1/weight, precomputed for the pick path
+	state     MemberState  // guarded by d.mu
+	out       atomic.Int64 // outstanding requests
+	served    atomic.Int64
+	failures  atomic.Int64
+	sheds     atomic.Int64  // requests this node refused under overload
+	credit    atomic.Int64  // slow-start token bucket, creditUnit fixed-point
+	rampM     atomic.Int64  // probation traffic share, creditUnit fixed-point
+	loadBits  atomic.Uint64 // cached LoadSignal (float64 bits)
+
+	// Probation state machine (guarded by d.mu; see HealthPolicy).
+	failStreak int // consecutive bad observations while up/probation
+	okStreak   int // consecutive good observations while down
+	goodRun    int // good observations since the last readmission
+	readmits   int // times this member has been readmitted
+	flaps      int // flap count (cleared by a clean run past FlapWindow)
+	quarantine int // good observations still ignored before readmission
+}
+
+func newMember(n Node, weight int) *member {
+	m := &member{node: n, weight: weight, invWeight: 1 / float64(weight), state: StateUp}
+	m.cs, _ = n.(ctxServer)
+	m.ls, _ = n.(loadSignaler)
+	m.refreshLoad()
+	return m
 }
 
 func (m *member) inList() bool { return m.state != StateDown }
+
+// refreshLoad re-queries the node's overload signal into the pick path's
+// cache. Called when a request completes on the member and on every
+// advisor observation — never from the pick path itself.
+func (m *member) refreshLoad() {
+	if m.ls == nil {
+		return
+	}
+	m.loadBits.Store(math.Float64bits(m.ls.LoadSignal()))
+}
+
+// cachedLoad returns the last refreshed overload signal.
+func (m *member) cachedLoad() float64 {
+	return math.Float64frombits(m.loadBits.Load())
+}
 
 // load is the member's normalized queue depth: outstanding work divided by
 // capacity. A weight-4 node with 4 requests in flight is as "busy" as a
 // weight-1 node with one.
 func (m *member) load() float64 {
-	return float64(m.outstanding) / float64(m.weight)
+	return float64(m.out.Load()) * m.invWeight
 }
 
-// score is the selection key: queue depth here at the dispatcher plus
-// whatever overload signal the node itself reports. Two nodes with equal
+// score is the pick-path selection key: queue depth here at the dispatcher
+// plus the member's cached overload signal. Two nodes with equal
 // outstanding counts are no longer equal if one of them is queueing renders.
 func (m *member) score() float64 {
+	return m.load() + m.cachedLoad()
+}
+
+// liveScore is score with a live (uncached) load query, used for Stats and
+// the dispatcher's own LoadSignal.
+func (m *member) liveScore() float64 {
+	s := m.load()
+	if m.ls != nil {
+		s += m.ls.LoadSignal()
+	}
+	return s
+}
+
+// legacyScore reproduces the pre-RCU pick path's per-member probe exactly:
+// a live load query behind a per-call interface assertion. Only the locked
+// (bench-baseline) pick path uses it.
+func (m *member) legacyScore() float64 {
 	s := m.load()
 	if ls, ok := m.node.(loadSignaler); ok {
 		s += ls.LoadSignal()
 	}
 	return s
+}
+
+// snapEntry is one member's routing-relevant state frozen into a snapshot.
+// The member pointer carries the atomics that stay live across snapshots.
+type snapEntry struct {
+	m         *member
+	probation bool
+}
+
+// snapshot is the immutable distribution list the pick path reads. A new
+// one is built under the dispatcher lock and swapped in atomically on every
+// membership or probation-state change; in-flight requests keep using the
+// snapshot they started with (their failover bitmask indexes it).
+type snapshot struct {
+	entries []snapEntry
 }
 
 // Dispatcher forwards requests across a pool of nodes. Safe for concurrent
@@ -226,11 +310,15 @@ type Dispatcher struct {
 	observer      *obs.Collector // mints serve spans; nil without WithObserver
 	policy        HealthPolicy
 	onChange      func(StateChange) // fired outside the lock; nil without WithStateChange
+	locked        bool              // legacy locked pick path (bench baseline)
 
 	mu      sync.Mutex
 	members []*member
-	rr      int // round-robin tiebreak cursor
 	started bool
+
+	snap atomic.Pointer[snapshot]
+	rrc  atomic.Uint64 // round-robin tiebreak cursor
+	rr   int           // legacy locked-path cursor (guarded by mu)
 
 	forwarded     stats.Counter
 	failovers     stats.Counter
@@ -280,6 +368,16 @@ func WithStateChange(fn func(StateChange)) Option {
 	return func(d *Dispatcher) { d.onChange = fn }
 }
 
+// WithLockedPickPath selects the pre-RCU routing implementation: node
+// selection under the dispatcher mutex with a live per-member load probe
+// and a per-request failover set allocation. It exists as the measured
+// baseline for the serve-path benchmark (cmd/simulate -serve-bench) and as
+// an escape hatch while the lock-free path soaks; behaviour is identical,
+// only the concurrency structure differs.
+func WithLockedPickPath() Option {
+	return func(d *Dispatcher) { d.locked = true }
+}
+
 // Config describes a Dispatcher.
 type Config struct {
 	// Name appears in diagnostics and error messages.
@@ -308,9 +406,23 @@ func New(cfg Config, opts ...Option) *Dispatcher {
 		o(d)
 	}
 	for _, n := range cfg.Nodes {
-		d.members = append(d.members, &member{node: n, weight: 1, state: StateUp})
+		d.members = append(d.members, newMember(n, 1))
 	}
+	d.rebuildLocked()
 	return d
+}
+
+// rebuildLocked swaps in a fresh immutable snapshot of the distribution
+// list. Caller holds d.mu (or owns the dispatcher exclusively, as in New).
+func (d *Dispatcher) rebuildLocked() {
+	entries := make([]snapEntry, 0, len(d.members))
+	for _, m := range d.members {
+		if m.state == StateDown {
+			continue
+		}
+		entries = append(entries, snapEntry{m: m, probation: m.state == StateProbation})
+	}
+	d.snap.Store(&snapshot{entries: entries})
 }
 
 // Start implements the uniform component lifecycle: if the dispatcher was
@@ -365,7 +477,8 @@ func (d *Dispatcher) AddWeighted(n Node, weight int) {
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	d.members = append(d.members, &member{node: n, weight: weight, state: StateUp})
+	d.members = append(d.members, newMember(n, weight))
+	d.rebuildLocked()
 }
 
 // Remove deletes a node from the pool by name, reporting whether it was
@@ -376,6 +489,7 @@ func (d *Dispatcher) Remove(name string) bool {
 	for i, m := range d.members {
 		if m.node.Name() == name {
 			d.members = append(d.members[:i], d.members[i+1:]...)
+			d.rebuildLocked()
 			return true
 		}
 	}
@@ -429,7 +543,7 @@ func (d *Dispatcher) evictLocked(m *member, cause string, changes []StateChange)
 	m.state = StateDown
 	m.failStreak = 0
 	m.okStreak = 0
-	m.credit = 0
+	m.credit.Store(0)
 	d.evictions.Inc()
 	flapped := false
 	p := d.policy
@@ -449,6 +563,7 @@ func (d *Dispatcher) evictLocked(m *member, cause string, changes []StateChange)
 		m.quarantine = q
 	}
 	m.goodRun = 0
+	d.rebuildLocked()
 	return append(changes, StateChange{
 		Node: m.node.Name(), From: from, To: StateDown, Cause: cause,
 		Flapped: flapped, Flaps: m.flaps, Quarantine: m.quarantine,
@@ -474,29 +589,32 @@ func (d *Dispatcher) observeGoodLocked(m *member, cause string, changes []StateC
 		m.okStreak = 0
 		m.readmits++
 		m.goodRun = 0
-		m.ramp = p.RampStart
-		m.credit = 0
+		m.rampM.Store(int64(p.RampStart * creditUnit))
+		m.credit.Store(0)
 		to := StateProbation
-		if m.ramp >= 1 {
+		if m.rampM.Load() >= creditUnit {
 			to = StateUp
 		}
 		m.state = to
 		d.readmissions.Inc()
+		d.rebuildLocked()
 		return append(changes, StateChange{
 			Node: m.node.Name(), From: StateDown, To: to, Cause: cause,
 			Flaps: m.flaps, Quarantine: m.quarantine,
 		})
 	case StateProbation:
 		m.goodRun++
-		m.ramp *= p.RampFactor
-		if m.ramp >= 1 {
-			m.ramp = 1
+		ramp := int64(float64(m.rampM.Load()) * p.RampFactor)
+		if ramp >= creditUnit {
+			m.rampM.Store(creditUnit)
 			m.state = StateUp
+			d.rebuildLocked()
 			return append(changes, StateChange{
 				Node: m.node.Name(), From: StateProbation, To: StateUp, Cause: cause,
 				Flaps: m.flaps, Quarantine: m.quarantine,
 			})
 		}
+		m.rampM.Store(ramp)
 		return changes
 	default: // StateUp
 		m.goodRun++
@@ -549,15 +667,7 @@ func (d *Dispatcher) Healthy() []string {
 
 // HealthyCount returns how many nodes are in the distribution list.
 func (d *Dispatcher) HealthyCount() int {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	n := 0
-	for _, m := range d.members {
-		if m.inList() {
-			n++
-		}
-	}
-	return n
+	return len(d.snap.Load().entries)
 }
 
 // Ready implements ReadyReporter for nested dispatchers: a pool with at
@@ -576,19 +686,81 @@ func (d *Dispatcher) MemberState(name string) (MemberState, bool) {
 	return StateDown, false
 }
 
-// pick selects the healthy node with the fewest outstanding requests,
+// pick selects the snapshot member with the fewest outstanding requests,
 // breaking ties round-robin, and accounts an outstanding request against
-// it. exclude lists members already tried for this request.
+// it. tried is a bitmask (by snapshot index) of members already attempted
+// for this request. Returns the snapshot index, or -1 when no member is
+// available. Lock-free: only atomics are touched.
 //
 // Probationary members are slow-started through a token bucket: each pick
 // accrues `ramp` credit, and the member is only eligible once a full credit
 // has accumulated (spent on selection). A member ramping at 1/4 therefore
 // takes roughly a quarter of the traffic an idle up member would, growing
 // exponentially as good probe observations multiply the ramp.
-func (d *Dispatcher) pick(exclude map[*member]bool) *member {
+func (d *Dispatcher) pick(sn *snapshot, tried uint64) int {
+	n := len(sn.entries)
+	if n == 0 {
+		return -1
+	}
+	start := int(d.rrc.Add(1)-1) % n
+	best := -1
+	var bestScore float64
+	for i := 0; i < n; i++ {
+		idx := (start + i) % n
+		if tried&(1<<uint(idx)) != 0 {
+			continue
+		}
+		e := &sn.entries[idx]
+		if e.probation {
+			c := e.m.credit.Add(e.m.rampM.Load())
+			if c > 2*creditUnit {
+				e.m.credit.Store(2 * creditUnit)
+			}
+			if c < creditUnit {
+				continue
+			}
+		}
+		if s := e.m.score(); best < 0 || s < bestScore {
+			best, bestScore = idx, s
+		}
+	}
+	if best < 0 {
+		// No member passed the credit gate. A pool of only probationary
+		// members must still serve: retry ignoring the gate rather than
+		// black-holing the request.
+		for i := 0; i < n; i++ {
+			idx := (start + i) % n
+			if tried&(1<<uint(idx)) != 0 {
+				continue
+			}
+			if s := sn.entries[idx].m.score(); best < 0 || s < bestScore {
+				best, bestScore = idx, s
+			}
+		}
+	}
+	if best < 0 {
+		return -1
+	}
+	bm := sn.entries[best].m
+	if sn.entries[best].probation {
+		if c := bm.credit.Load(); c > creditUnit {
+			bm.credit.Add(-creditUnit)
+		} else {
+			bm.credit.Store(0)
+		}
+	}
+	bm.out.Add(1)
+	return best
+}
+
+// lockedPick is the legacy pick path: the same selection under the
+// dispatcher mutex, probing each member's live overload signal. Kept as
+// the serve-path benchmark baseline (WithLockedPickPath).
+func (d *Dispatcher) lockedPick(exclude map[*member]bool) *member {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	var best *member
+	var bestScore float64
 	n := len(d.members)
 	if n == 0 {
 		return nil
@@ -599,29 +771,26 @@ func (d *Dispatcher) pick(exclude map[*member]bool) *member {
 			continue
 		}
 		if m.state == StateProbation {
-			m.credit += m.ramp
-			if m.credit > 2 {
-				m.credit = 2
+			c := m.credit.Add(m.rampM.Load())
+			if c > 2*creditUnit {
+				m.credit.Store(2 * creditUnit)
 			}
-			if m.credit < 1 {
+			if c < creditUnit {
 				continue
 			}
 		}
-		if best == nil || m.score() < best.score() {
-			best = m
+		if s := m.legacyScore(); best == nil || s < bestScore {
+			best, bestScore = m, s
 		}
 	}
 	if best == nil {
-		// No member passed the credit gate. A pool of only probationary
-		// members must still serve: retry ignoring the gate rather than
-		// black-holing the request.
 		for i := 0; i < n; i++ {
 			m := d.members[(d.rr+i)%n]
 			if !m.inList() || exclude[m] {
 				continue
 			}
-			if best == nil || m.score() < best.score() {
-				best = m
+			if s := m.legacyScore(); best == nil || s < bestScore {
+				best, bestScore = m, s
 			}
 		}
 	}
@@ -629,29 +798,31 @@ func (d *Dispatcher) pick(exclude map[*member]bool) *member {
 		return nil
 	}
 	if best.state == StateProbation {
-		if best.credit > 1 {
-			best.credit--
+		if c := best.credit.Load(); c > creditUnit {
+			best.credit.Add(-creditUnit)
 		} else {
-			best.credit = 0
+			best.credit.Store(0)
 		}
 	}
 	d.rr = (d.rr + 1) % n
-	best.outstanding++
+	best.out.Add(1)
 	return best
 }
 
+// release accounts a finished request. On success the member's cached load
+// signal is refreshed — the one LoadSignal query per request, off the pick
+// path. On failure the member is evicted: a dead request is certainty, not
+// probe noise.
 func (d *Dispatcher) release(m *member, failed bool) {
-	d.mu.Lock()
-	var changes []StateChange
-	m.outstanding--
-	if failed {
-		m.failures++
-		// Advisor semantics: a serving failure pulls the node immediately —
-		// a dead request is certainty, not probe noise.
-		changes = d.evictLocked(m, "serve_failure", changes)
-	} else {
-		m.served++
+	m.out.Add(-1)
+	if !failed {
+		m.served.Add(1)
+		m.refreshLoad()
+		return
 	}
+	m.failures.Add(1)
+	d.mu.Lock()
+	changes := d.evictLocked(m, "serve_failure", nil)
 	d.mu.Unlock()
 	d.fire(changes)
 }
@@ -661,10 +832,9 @@ func (d *Dispatcher) release(m *member, failed bool) {
 // its queue drains, so pulling it from the distribution list (as release
 // does for failures) would turn a transient surge into a capacity loss.
 func (d *Dispatcher) releaseShed(m *member) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	m.outstanding--
-	m.sheds++
+	m.out.Add(-1)
+	m.sheds.Add(1)
+	m.refreshLoad()
 }
 
 // Serve implements Node: forward the request to a healthy backend, failing
@@ -688,7 +858,16 @@ func (d *Dispatcher) ServeCtx(ctx context.Context, path string) (*cache.Object, 
 		sp.SetPath(path)
 		minted = true
 	}
-	obj, outcome, err := d.serve(ctx, sp, path)
+	var (
+		obj     *cache.Object
+		outcome httpserver.Outcome
+		err     error
+	)
+	if d.locked {
+		obj, outcome, err = d.serveLocked(ctx, sp, path)
+	} else {
+		obj, outcome, err = d.serve(ctx, sp, path)
+	}
 	if minted {
 		sp.SetOutcome(outcome.String())
 		if obj != nil {
@@ -699,14 +878,30 @@ func (d *Dispatcher) ServeCtx(ctx context.Context, path string) (*cache.Object, 
 	return obj, outcome, err
 }
 
-// serve is the failover loop behind Serve/ServeCtx.
+// serveOn forwards one attempt to a member, threading the span context when
+// the node supports it.
+func serveOn(ctx context.Context, m *member, path string) (*cache.Object, httpserver.Outcome, error) {
+	if m.cs != nil {
+		return m.cs.ServeCtx(ctx, path)
+	}
+	return m.node.Serve(path)
+}
+
+// serve is the lock-free failover loop behind Serve/ServeCtx. The request
+// routes over one immutable snapshot: members evicted mid-request simply
+// fail their attempt and are masked out; members added mid-request are
+// picked up by the next request. The tried set is a bitmask over snapshot
+// indices, so the hit path performs no allocation. Snapshots wider than 64
+// members fall back to masking the first 64 (a pool that wide is itself a
+// misconfiguration — the ND topped out at tens of nodes per site).
 func (d *Dispatcher) serve(ctx context.Context, sp *obs.Span, path string) (*cache.Object, httpserver.Outcome, error) {
-	tried := make(map[*member]bool)
+	sn := d.snap.Load()
+	var tried uint64
 	retries := 0
 	var lastShed error
 	for {
-		m := d.pick(tried)
-		if m == nil {
+		idx := d.pick(sn, tried)
+		if idx < 0 {
 			d.rejected.Inc()
 			if lastShed != nil {
 				// Every reachable node refused under overload; the pool is
@@ -717,21 +912,15 @@ func (d *Dispatcher) serve(ctx context.Context, sp *obs.Span, path string) (*cac
 			}
 			return nil, httpserver.OutcomeError, fmt.Errorf("%w (%s)", ErrNoBackends, d.name)
 		}
-		tried[m] = true
+		if idx < 64 {
+			tried |= 1 << uint(idx)
+		}
+		m := sn.entries[idx].m
 		// Route selection done (possibly again after a failover — the stamp
 		// reflects the last node actually tried).
 		sp.Stamp(obs.SpanRoute)
 		sp.SetNode(m.node.Name())
-		var (
-			obj     *cache.Object
-			outcome httpserver.Outcome
-			err     error
-		)
-		if cs, ok := m.node.(ctxServer); ok {
-			obj, outcome, err = cs.ServeCtx(ctx, path)
-		} else {
-			obj, outcome, err = m.node.Serve(path)
-		}
+		obj, outcome, err := serveOn(ctx, m, path)
 		if outcome == httpserver.OutcomeShed {
 			// Overloaded, not broken: fail over to a sibling but leave the
 			// node in the distribution list.
@@ -762,10 +951,57 @@ func (d *Dispatcher) serve(ctx context.Context, sp *obs.Span, path string) (*cac
 	}
 }
 
+// serveLocked is the legacy failover loop over lockedPick (the bench
+// baseline): a per-request map tracks tried members and every pick walks
+// the live member list under the mutex.
+func (d *Dispatcher) serveLocked(ctx context.Context, sp *obs.Span, path string) (*cache.Object, httpserver.Outcome, error) {
+	tried := make(map[*member]bool)
+	retries := 0
+	var lastShed error
+	for {
+		m := d.lockedPick(tried)
+		if m == nil {
+			d.rejected.Inc()
+			if lastShed != nil {
+				return nil, httpserver.OutcomeShed, lastShed
+			}
+			return nil, httpserver.OutcomeError, fmt.Errorf("%w (%s)", ErrNoBackends, d.name)
+		}
+		tried[m] = true
+		sp.Stamp(obs.SpanRoute)
+		sp.SetNode(m.node.Name())
+		obj, outcome, err := serveOn(ctx, m, path)
+		if outcome == httpserver.OutcomeShed {
+			d.releaseShed(m)
+			d.shedFailovers.Inc()
+			lastShed = err
+			retries++
+			if d.maxRetries >= 0 && retries > d.maxRetries {
+				d.rejected.Inc()
+				return nil, httpserver.OutcomeShed, err
+			}
+			continue
+		}
+		if outcome == httpserver.OutcomeError && err != nil && !errors.Is(err, httpserver.ErrNoRoute) {
+			d.release(m, true)
+			d.failovers.Inc()
+			retries++
+			if d.maxRetries >= 0 && retries > d.maxRetries {
+				d.rejected.Inc()
+				return nil, httpserver.OutcomeError, fmt.Errorf("dispatch: retries exhausted: %w", err)
+			}
+			continue
+		}
+		d.release(m, false)
+		d.forwarded.Inc()
+		return obj, outcome, err
+	}
+}
+
 // LoadSignal implements loadSignaler for nested dispatchers and the routing
-// layer: the mean score of the distribution list. A whole complex therefore
-// reports how loaded its nodes are, and MSIRP can withdraw addresses from a
-// complex whose aggregate crosses the shedding threshold.
+// layer: the mean live score of the distribution list. A whole complex
+// therefore reports how loaded its nodes are, and MSIRP can withdraw
+// addresses from a complex whose aggregate crosses the shedding threshold.
 func (d *Dispatcher) LoadSignal() float64 {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -775,7 +1011,7 @@ func (d *Dispatcher) LoadSignal() float64 {
 		if !m.inList() {
 			continue
 		}
-		sum += m.score()
+		sum += m.liveScore()
 		n++
 	}
 	if n == 0 {
@@ -786,9 +1022,9 @@ func (d *Dispatcher) LoadSignal() float64 {
 
 // CheckNow runs one advisor sweep synchronously: every node is probed and
 // the observation fed through the probation state machine (hysteresis,
-// quarantine, slow-start ramp). Returns the number of nodes left in the
-// distribution list. The simulation calls this on its own clock; live
-// servers use StartAdvisors.
+// quarantine, slow-start ramp), and its cached load signal refreshed.
+// Returns the number of nodes left in the distribution list. The simulation
+// calls this on its own clock; live servers use StartAdvisors.
 func (d *Dispatcher) CheckNow() int {
 	d.mu.Lock()
 	nodes := make([]*member, len(d.members))
@@ -799,6 +1035,7 @@ func (d *Dispatcher) CheckNow() int {
 	healthy := 0
 	for _, m := range nodes {
 		ok := d.probe(m.node)
+		m.refreshLoad()
 		d.mu.Lock()
 		if ok {
 			changes = d.observeGoodLocked(m, "probe", changes)
@@ -855,7 +1092,7 @@ type NodeStats struct {
 	// stayed in the distribution list; the requests failed over).
 	Sheds int64
 	// Load is the member's current selection score: dispatcher queue depth
-	// plus the node's own overload signal.
+	// plus the node's own overload signal (queried live for the snapshot).
 	Load float64
 	// Ramp is the slow-start traffic share while in probation (1 otherwise).
 	Ramp float64
@@ -923,18 +1160,18 @@ func (d *Dispatcher) Stats() DispatcherStats {
 	for _, m := range d.members {
 		ramp := 1.0
 		if m.state == StateProbation {
-			ramp = m.ramp
+			ramp = float64(m.rampM.Load()) / creditUnit
 		}
 		nodes = append(nodes, NodeStats{
 			Name:        m.node.Name(),
 			Up:          m.inList(),
 			State:       m.state.String(),
 			Weight:      m.weight,
-			Outstanding: m.outstanding,
-			Served:      m.served,
-			Failures:    m.failures,
-			Sheds:       m.sheds,
-			Load:        m.score(),
+			Outstanding: int(m.out.Load()),
+			Served:      m.served.Load(),
+			Failures:    m.failures.Load(),
+			Sheds:       m.sheds.Load(),
+			Load:        m.liveScore(),
 			Ramp:        ramp,
 			Flaps:       m.flaps,
 			Quarantine:  m.quarantine,

@@ -1,0 +1,151 @@
+package httpserver
+
+import (
+	"net/http"
+	"net/url"
+	"testing"
+	"time"
+
+	"dupserve/internal/cache"
+	"dupserve/internal/overload"
+)
+
+// reusableWriter is a minimal http.ResponseWriter whose header map persists
+// across requests, so AllocsPerRun measures only ServeHTTP's own work (a
+// real connection reuses its header machinery similarly).
+type reusableWriter struct {
+	h      http.Header
+	status int
+	n      int
+}
+
+func (w *reusableWriter) Header() http.Header { return w.h }
+func (w *reusableWriter) Write(p []byte) (int, error) {
+	w.n += len(p)
+	return len(p), nil
+}
+func (w *reusableWriter) WriteHeader(status int) { w.status = status }
+
+func newHitServer(t *testing.T) *Server {
+	t.Helper()
+	c := cache.New("alloc-node")
+	c.Put(&cache.Object{
+		Key:         "/en/results",
+		Value:       []byte("<html>results</html>"),
+		ContentType: "text/html; charset=utf-8",
+		Version:     42,
+		StoredAt:    time.Now(),
+	})
+	return New("alloc-node", c, nil, func() int64 { return 42 })
+}
+
+// TestServeHitZeroAlloc pins the transport-independent cache-hit path at
+// zero heap allocations per request.
+func TestServeHitZeroAlloc(t *testing.T) {
+	s := newHitServer(t)
+	if _, outcome, err := s.Serve("/en/results"); err != nil || outcome != OutcomeHit {
+		t.Fatalf("warmup: outcome=%v err=%v", outcome, err)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, outcome, _ := s.Serve("/en/results"); outcome != OutcomeHit {
+			t.Fatalf("outcome = %v, want hit", outcome)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Serve hit path allocates %.1f per run, want 0", allocs)
+	}
+}
+
+// TestServeHitZeroAllocWithOverload proves admission control costs the hit
+// path nothing: hits bypass the limiter entirely.
+func TestServeHitZeroAllocWithOverload(t *testing.T) {
+	c := cache.New("alloc-ov")
+	c.Put(&cache.Object{Key: "/p", Value: []byte("x"), Version: 1})
+	lim := overload.NewLimiter(overload.Config{MaxConcurrent: 1, MaxQueue: 0})
+	s := New("alloc-ov", c, nil, nil, WithOverload(lim, time.Second))
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, outcome, _ := s.Serve("/p"); outcome != OutcomeHit {
+			t.Fatalf("outcome = %v, want hit", outcome)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Serve hit path with limiter allocates %.1f per run, want 0", allocs)
+	}
+}
+
+// TestServeHTTPHitZeroAlloc pins the HTTP layer's hit path — entity tag,
+// cache/version/node headers, body write — at zero heap allocations once
+// the object's headers are memoized.
+func TestServeHTTPHitZeroAlloc(t *testing.T) {
+	s := newHitServer(t)
+	req := &http.Request{
+		Method: http.MethodGet,
+		URL:    &url.URL{Path: "/en/results"},
+		Header: http.Header{},
+	}
+	w := &reusableWriter{h: http.Header{}}
+	s.ServeHTTP(w, req) // memoize object headers, size the header map
+	allocs := testing.AllocsPerRun(1000, func() {
+		w.status = 0
+		w.n = 0
+		s.ServeHTTP(w, req)
+	})
+	if allocs != 0 {
+		t.Fatalf("ServeHTTP hit path allocates %.1f per run, want 0", allocs)
+	}
+	if w.n == 0 {
+		t.Fatal("no body written")
+	}
+	if got := w.h.Get("ETag"); got != ETag(mustPeek(t, s, "/en/results")) {
+		t.Fatalf("ETag = %q", got)
+	}
+	if got := w.h.Get("X-Cache"); got != "hit" {
+		t.Fatalf("X-Cache = %q, want hit", got)
+	}
+	if got := w.h.Get("X-Node"); got != "alloc-node" {
+		t.Fatalf("X-Node = %q", got)
+	}
+	if got := w.h.Get("X-Version"); got != "42" {
+		t.Fatalf("X-Version = %q, want 42", got)
+	}
+	if got := w.h.Get("Content-Type"); got != "text/html; charset=utf-8" {
+		t.Fatalf("Content-Type = %q", got)
+	}
+}
+
+// TestServeHTTPConditionalGetZeroAlloc pins the 304 path: a matching
+// If-None-Match serves no body and allocates nothing.
+func TestServeHTTPConditionalGetZeroAlloc(t *testing.T) {
+	s := newHitServer(t)
+	etag := ETag(mustPeek(t, s, "/en/results"))
+	req := &http.Request{
+		Method: http.MethodGet,
+		URL:    &url.URL{Path: "/en/results"},
+		Header: http.Header{"If-None-Match": {etag}},
+	}
+	w := &reusableWriter{h: http.Header{}}
+	s.ServeHTTP(w, req)
+	allocs := testing.AllocsPerRun(1000, func() {
+		w.status = 0
+		w.n = 0
+		s.ServeHTTP(w, req)
+	})
+	if allocs != 0 {
+		t.Fatalf("304 path allocates %.1f per run, want 0", allocs)
+	}
+	if w.status != http.StatusNotModified {
+		t.Fatalf("status = %d, want 304", w.status)
+	}
+	if w.n != 0 {
+		t.Fatalf("304 wrote %d body bytes", w.n)
+	}
+}
+
+func mustPeek(t *testing.T, s *Server, path string) *cache.Object {
+	t.Helper()
+	obj, ok := s.Cache().Peek(cache.Key(path))
+	if !ok {
+		t.Fatalf("object %s not cached", path)
+	}
+	return obj
+}

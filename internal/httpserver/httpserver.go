@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -99,6 +100,7 @@ type VersionFunc func() int64
 // plus a static store. Safe for concurrent use.
 type Server struct {
 	name     string
+	nameV    []string // []string{name}: ready-made X-Node header value
 	cache    *cache.Cache
 	gen      core.Generator
 	version  VersionFunc
@@ -228,6 +230,7 @@ func New(name string, c *cache.Cache, gen core.Generator, version VersionFunc, o
 	}
 	s := &Server{
 		name:    name,
+		nameV:   []string{name},
 		cache:   c,
 		gen:     gen,
 		version: version,
@@ -448,8 +451,38 @@ func ETag(obj *cache.Object) string {
 	return fmt.Sprintf(`"v%d-%d"`, obj.Version, len(obj.Value))
 }
 
+// buildObjectHeaders formats an object's response-header material once; the
+// result is memoized on the object (cache.Object.ResponseHeaders), so the
+// per-request hit path only assigns ready-made slices into the header map.
+func buildObjectHeaders(obj *cache.Object) *cache.ObjectHeaders {
+	h := &cache.ObjectHeaders{
+		ETag:    ETag(obj),
+		Version: strconv.FormatInt(obj.Version, 10),
+	}
+	h.ETagV = []string{h.ETag}
+	h.VersionV = []string{h.Version}
+	if obj.ContentType != "" {
+		h.ContentType = []string{obj.ContentType}
+	}
+	return h
+}
+
+// xCacheValue holds one ready-made header slice per outcome so the hit path
+// never allocates to say how it served. Indexed by Outcome.
+var xCacheValue = [...][]string{
+	OutcomeHit:    {"hit"},
+	OutcomeMiss:   {"miss"},
+	OutcomeStatic: {"static"},
+	OutcomeStale:  {"stale"},
+}
+
 // ServeHTTP implements http.Handler over Serve, with conditional-GET
 // support: a matching If-None-Match yields 304 Not Modified with no body.
+//
+// The success path performs no heap allocation of its own: the entity tag
+// and version strings are memoized on the cached object, and all header
+// values are pre-built single-value slices assigned directly under their
+// canonical keys (the spellings http.Header.Set would produce).
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	obj, outcome, err := s.Serve(r.URL.Path)
 	switch outcome {
@@ -466,17 +499,18 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "overloaded, retry shortly", http.StatusServiceUnavailable)
 		return
 	}
-	etag := ETag(obj)
-	w.Header().Set("ETag", etag)
-	w.Header().Set("X-Cache", outcome.String())
-	w.Header().Set("X-Version", fmt.Sprint(obj.Version))
-	w.Header().Set("X-Node", s.name)
-	if r.Header.Get("If-None-Match") == etag {
+	hdr := obj.ResponseHeaders(buildObjectHeaders)
+	h := w.Header()
+	h["Etag"] = hdr.ETagV
+	h["X-Cache"] = xCacheValue[outcome]
+	h["X-Version"] = hdr.VersionV
+	h["X-Node"] = s.nameV
+	if r.Header.Get("If-None-Match") == hdr.ETag {
 		w.WriteHeader(http.StatusNotModified)
 		return
 	}
-	if obj.ContentType != "" {
-		w.Header().Set("Content-Type", obj.ContentType)
+	if hdr.ContentType != nil {
+		h["Content-Type"] = hdr.ContentType
 	}
 	if _, err := w.Write(obj.Value); err != nil {
 		// Client went away mid-write; nothing further to do.

@@ -182,8 +182,7 @@ func (w *Warmer) Warm() (Report, error) {
 			// Store a copy of the metadata (sharing the value bytes), the
 			// same discipline as Group.BroadcastPut, so caches never alias
 			// each other's Object structs.
-			cp := *obj
-			cfg.Cache.Put(&cp)
+			cfg.Cache.Put(obj.Copy())
 			rep.FromPeer++
 			continue
 		}

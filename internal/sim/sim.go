@@ -632,8 +632,7 @@ func (r *runner) reprime(cx *cluster.Complex, nodes ...*cluster.Node) {
 		}
 		for _, k := range src.Keys() {
 			if o, ok := src.Peek(k); ok {
-				cp := *o
-				dst.Put(&cp)
+				dst.Put(o.Copy())
 			}
 		}
 	}

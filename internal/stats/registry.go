@@ -64,6 +64,16 @@ type Series struct {
 	gauge     *Gauge
 	histogram *Histogram
 	fn        func() float64
+	cfn       func() int64 // counter-typed compute-on-read (RegisterCounterFunc)
+}
+
+// counterValue reads a counter series whether it is backed by a Counter or a
+// compute-on-read function.
+func (s *Series) counterValue() int64 {
+	if s.cfn != nil {
+		return s.cfn()
+	}
+	return s.counter.Value()
 }
 
 // NewRegistry returns an empty registry.
@@ -150,6 +160,16 @@ func cloneLabels(l Labels) Labels {
 func (r *Registry) RegisterCounter(name, help string, labels Labels, c *Counter) {
 	f := r.family(name, help, TypeCounter)
 	f.add(&Series{Labels: cloneLabels(labels), key: labelKey(labels), counter: c})
+}
+
+// RegisterCounterFunc publishes a compute-on-read value as a counter —
+// for subsystems whose monotonic totals are folded from internal shards at
+// read time (the striped cache) rather than held in one Counter. The
+// function must be monotonically non-decreasing to honour counter
+// semantics.
+func (r *Registry) RegisterCounterFunc(name, help string, labels Labels, fn func() int64) {
+	f := r.family(name, help, TypeCounter)
+	f.add(&Series{Labels: cloneLabels(labels), key: labelKey(labels), cfn: fn})
 }
 
 // RegisterGauge publishes an existing gauge under name+labels.
@@ -253,7 +273,7 @@ func (r *Registry) Snapshot() []FamilySnapshot {
 			ss := SeriesSnapshot{Labels: s.Labels}
 			switch f.Type {
 			case TypeCounter:
-				ss.Value = float64(s.counter.Value())
+				ss.Value = float64(s.counterValue())
 			case TypeGauge:
 				ss.Value = float64(s.gauge.Value())
 			case TypeFunc:
@@ -299,7 +319,7 @@ func (r *Registry) WriteText(w io.Writer) error {
 			var err error
 			switch f.Type {
 			case TypeCounter:
-				_, err = fmt.Fprintf(w, "%s%s %d\n", f.Name, s.key, s.counter.Value())
+				_, err = fmt.Fprintf(w, "%s%s %d\n", f.Name, s.key, s.counterValue())
 			case TypeGauge:
 				_, err = fmt.Fprintf(w, "%s%s %d\n", f.Name, s.key, s.gauge.Value())
 			case TypeFunc:
